@@ -1,0 +1,151 @@
+package aigre_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"aigre"
+	"aigre/internal/bench"
+)
+
+func buildAPICircuit(t testing.TB) *aigre.Network {
+	n := aigre.New(8)
+	rng := rand.New(rand.NewSource(3))
+	acc := n.PI(0)
+	for i := 1; i < 8; i++ {
+		acc = n.AddAnd(acc, n.PI(i))
+	}
+	n.AddPO(acc)
+	for o := 0; o < 3; o++ {
+		x := n.PI(rng.Intn(8))
+		sum := aigre.Const0
+		for c := 0; c < 4; c++ {
+			sum = n.AddOr(sum, n.AddAnd(x, n.PI(rng.Intn(8))))
+		}
+		n.AddPO(sum)
+	}
+	n.AddPO(n.AddMux(n.PI(0), n.PI(1), n.AddXor(n.PI(2), n.PI(3))))
+	n.SetName("api-test")
+	return n
+}
+
+func TestPublicAPIConstruction(t *testing.T) {
+	n := buildAPICircuit(t)
+	s := n.Stats()
+	if s.PIs != 8 || s.POs != 5 || s.Nodes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if n.Name() != "api-test" {
+		t.Errorf("name = %q", n.Name())
+	}
+}
+
+func TestPublicAPIOptimizations(t *testing.T) {
+	n := buildAPICircuit(t)
+	for _, parallel := range []bool{false, true} {
+		for name, run := range map[string]func() (aigre.Result, error){
+			"balance":  func() (aigre.Result, error) { return n.Balance(aigre.Options{Parallel: parallel}) },
+			"refactor": func() (aigre.Result, error) { return n.Refactor(aigre.Options{Parallel: parallel, Passes: 2}) },
+			"rewrite":  func() (aigre.Result, error) { return n.Rewrite(aigre.Options{Parallel: parallel}) },
+			"resyn2":   func() (aigre.Result, error) { return n.Resyn2(aigre.Options{Parallel: parallel}) },
+			"rf_resyn": func() (aigre.Result, error) { return n.RfResyn(aigre.Options{Parallel: parallel}) },
+			"resub":    func() (aigre.Result, error) { return n.Resub(aigre.Options{Parallel: parallel}) },
+			"compress": func() (aigre.Result, error) { return n.CompressRS(aigre.Options{Parallel: parallel}) },
+		} {
+			res, err := run()
+			if err != nil {
+				t.Fatalf("%s(parallel=%v): %v", name, parallel, err)
+			}
+			eq, err := res.AIG.EquivalentTo(n)
+			if err != nil || !eq {
+				t.Fatalf("%s(parallel=%v) not equivalent: %v", name, parallel, err)
+			}
+			if res.AIG.Stats().Nodes > n.Stats().Nodes {
+				t.Errorf("%s(parallel=%v) grew the network", name, parallel)
+			}
+		}
+	}
+}
+
+func TestPublicAPIBalanceLevelsAgree(t *testing.T) {
+	n := aigre.FromInternal(bench.Sin(12))
+	seq, err := n.Balance(aigre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := n.Balance(aigre.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.AIG.Stats().Levels != par.AIG.Stats().Levels {
+		t.Errorf("Property 3 violated at the API level: %d vs %d",
+			seq.AIG.Stats().Levels, par.AIG.Stats().Levels)
+	}
+}
+
+func TestPublicAPIAIGERRoundTrip(t *testing.T) {
+	n := buildAPICircuit(t)
+	var buf bytes.Buffer
+	if err := n.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := aigre.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := back.EquivalentTo(n)
+	if err != nil || !eq {
+		t.Fatalf("round trip changed function: %v", err)
+	}
+
+	dir := t.TempDir()
+	for _, name := range []string{"x.aig", "x.aag"} {
+		path := filepath.Join(dir, name)
+		if err := n.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		back, err := aigre.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, err := back.EquivalentTo(n); err != nil || !eq {
+			t.Fatalf("%s round trip changed function: %v", name, err)
+		}
+	}
+}
+
+func TestPublicAPIRunScript(t *testing.T) {
+	n := buildAPICircuit(t)
+	res, err := n.Run("b; rfz; b", aigre.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timings) != 3 {
+		t.Errorf("timings = %d", len(res.Timings))
+	}
+	if _, err := n.Run("b; bogus", aigre.Options{}); err == nil {
+		t.Error("invalid script accepted")
+	}
+}
+
+func TestPublicAPIDedup(t *testing.T) {
+	n := buildAPICircuit(t)
+	res, err := n.Dedup(aigre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, err := res.AIG.EquivalentTo(n); err != nil || !eq {
+		t.Fatalf("dedup changed function: %v", err)
+	}
+}
+
+func TestPublicAPIClone(t *testing.T) {
+	n := buildAPICircuit(t)
+	c := n.Clone()
+	c.AddPO(aigre.Const1)
+	if n.Stats().POs == c.Stats().POs {
+		t.Error("clone not independent")
+	}
+}

@@ -1,0 +1,110 @@
+// Command aigre is a small ABC-like driver: it reads an AIGER file, runs an
+// optimization script in sequential (ABC-style) or parallel (GPU-model)
+// mode, prints statistics, and optionally writes the result and checks
+// equivalence.
+//
+// Usage:
+//
+//	aigre -in design.aig -script "b; rw; rf; b" -parallel -out opt.aig
+//	aigre -in design.aig -resyn2 -cec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aigre"
+	"aigre/internal/flow"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input AIGER file (required)")
+		out      = flag.String("out", "", "output AIGER file (optional; .aag = ASCII)")
+		script   = flag.String("script", "", "optimization script, e.g. \"b; rw; rfz\"")
+		resyn2   = flag.Bool("resyn2", false, "run the resyn2 sequence")
+		rfResyn  = flag.Bool("rf_resyn", false, "run the rf_resyn sequence")
+		parallel = flag.Bool("parallel", false, "use the parallel (GPU-model) algorithms")
+		workers  = flag.Int("workers", 0, "worker goroutines for the simulated device (0 = GOMAXPROCS)")
+		maxCut   = flag.Int("maxcut", 12, "refactoring cut-size limit")
+		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
+		cecWith  = flag.String("cec-with", "", "check equivalence of -in against this AIGER file and exit")
+		verbose  = flag.Bool("v", false, "print per-command statistics")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "aigre: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	n, err := aigre.ReadFile(*in)
+	fatal(err)
+	fmt.Println("input:  ", n.Stats())
+
+	if *cecWith != "" {
+		other, err := aigre.ReadFile(*cecWith)
+		fatal(err)
+		fmt.Println("other:  ", other.Stats())
+		eq, err := n.EquivalentTo(other)
+		fatal(err)
+		if !eq {
+			fmt.Println("cec:     NOT equivalent")
+			os.Exit(1)
+		}
+		fmt.Println("cec:     equivalent")
+		return
+	}
+
+	s := *script
+	switch {
+	case *resyn2:
+		s = flow.Resyn2
+	case *rfResyn:
+		s = flow.RfResyn
+	case s == "":
+		// statistics only
+	}
+	cur := n
+	if s != "" {
+		opts := aigre.Options{Parallel: *parallel, Workers: *workers, MaxCut: *maxCut}
+		if *resyn2 {
+			opts.RwzPasses = 2
+		}
+		res, err := cur.Run(s, opts)
+		fatal(err)
+		cur = res.AIG
+		if *verbose {
+			for _, t := range res.Timings {
+				fmt.Printf("  %-4s wall=%-12v modeled=%-12v dedup=%-12v and=%d lev=%d\n",
+					t.Command, t.Wall, t.Modeled, t.DedupModeled, t.NodesAfter, t.LevelsAfter)
+			}
+		}
+		mode := "sequential"
+		if *parallel {
+			mode = "parallel"
+		}
+		fmt.Printf("script: %q (%s)  wall=%v modeled=%v\n", s, mode, res.Wall, res.Modeled)
+		fmt.Println("output: ", cur.Stats())
+	}
+	if *cecFlag && s != "" {
+		eq, err := cur.EquivalentTo(n)
+		fatal(err)
+		if !eq {
+			fmt.Fprintln(os.Stderr, "aigre: EQUIVALENCE CHECK FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("cec:     equivalent")
+	}
+	if *out != "" {
+		fatal(cur.WriteFile(*out))
+		fmt.Println("wrote:  ", *out)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigre:", err)
+		os.Exit(1)
+	}
+}

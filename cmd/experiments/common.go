@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"aigre/internal/aig"
+	"aigre/internal/bench"
+	"aigre/internal/cec"
+	"aigre/internal/flow"
+	"aigre/internal/gpu"
+)
+
+// suiteCases returns the benchmark list honoring -quick.
+func suiteCases() []bench.Case {
+	cases := bench.Suite(*scaleFlag)
+	if !*quickFlag {
+		return cases
+	}
+	keep := map[string]bool{"twenty": true, "div": true, "multiplier": true, "voter": true, "ac97_ctrl": true}
+	var out []bench.Case
+	for _, c := range cases {
+		if keep[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// device builds a fresh simulated device.
+func device() *gpu.Device { return gpu.New(*workersFlag) }
+
+// verify optionally equivalence-checks an optimization result.
+func verify(name string, in, out *aig.AIG) {
+	if !*cecFlag {
+		return
+	}
+	res, err := cec.Check(in, out, cec.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "  CEC %-14s inconclusive: %v\n", name, err)
+		return
+	}
+	if !res.Equivalent {
+		fmt.Fprintf(os.Stderr, "  CEC %-14s FAILED (output %d)\n", name, res.FailingOutput)
+		os.Exit(1)
+	}
+}
+
+// runSeqScript times a sequential (ABC-style) script.
+func runSeqScript(a *aig.AIG, script string) (*aig.AIG, time.Duration) {
+	start := time.Now()
+	res, err := flow.Run(a, script, flow.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return res.AIG, time.Since(start)
+}
+
+// runParScript runs a parallel script on a fresh device, returning the
+// result, host wall time, modeled device time and the timings.
+func runParScript(a *aig.AIG, script string, rwzPasses, rfPasses int) (*aig.AIG, time.Duration, time.Duration, []flow.CommandTiming) {
+	d := device()
+	start := time.Now()
+	res, err := flow.Run(a, script, flow.Config{
+		Parallel:  true,
+		Device:    d,
+		RwzPasses: rwzPasses,
+		RfPasses:  rfPasses,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.AIG, time.Since(start), d.Stats().ModeledTime, res.Timings
+}
+
+// geo accumulates a geometric mean.
+type geo struct {
+	logSum float64
+	n      int
+}
+
+func (g *geo) add(ratio float64) {
+	if ratio > 0 {
+		g.logSum += math.Log(ratio)
+		g.n++
+	}
+}
+
+func (g *geo) mean() float64 {
+	if g.n == 0 {
+		return 1
+	}
+	return math.Exp(g.logSum / float64(g.n))
+}
+
+// fmtDur prints a duration in seconds with millisecond resolution, matching
+// the paper's tables.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md's experiment index and EXPERIMENTS.md
+// for paper-vs-measured results):
+//
+//	table1 — normalized sequential-part runtimes (GPU rw vs rf variants)
+//	table2 — single algorithms: balancing and refactoring, ABC-style vs GPU
+//	table3 — sequences: rf_resyn and resyn2, ABC-style vs GPU
+//	fig7   — GPU rf_resyn acceleration as a function of AIG size
+//	fig8   — per-command runtime breakdown of the GPU sequences
+//
+// Times reported: "ABC-style" columns are measured wall-clock of the
+// sequential Go baselines; "GPU" columns show the modeled device time of the
+// simulated massively-parallel device (the machine-independent reproduction
+// of the paper's CUDA measurements; see DESIGN.md) next to honest host
+// wall-clock. Accel = sequential wall / modeled device time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var (
+	scaleFlag   = flag.Int("scale", 1, "benchmark size scale (1 = unit tests scale; 8+ = slower, larger)")
+	workersFlag = flag.Int("workers", 0, "host worker goroutines for the device (0 = GOMAXPROCS)")
+	cecFlag     = flag.Bool("cec", false, "equivalence-check every optimized AIG against its input")
+	quickFlag   = flag.Bool("quick", false, "run on a 5-benchmark subset")
+	csvFlag     = flag.String("csv", "", "write figure-7 data points to this CSV file")
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "table1|table2|table3|fig7|fig8|ablations|all")
+	flag.Parse()
+	run := func(name string, fn func()) {
+		fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
+		fn()
+	}
+	switch *exp {
+	case "table1":
+		run("table I", table1)
+	case "table2":
+		run("table II", table2)
+	case "table3":
+		run("table III", table3)
+	case "fig7":
+		run("figure 7", fig7)
+	case "fig8":
+		run("figure 8", fig8)
+	case "ablations":
+		run("ablations", ablations)
+	case "all":
+		run("table I", table1)
+		run("table II", table2)
+		run("table III", table3)
+		run("figure 7", fig7)
+		run("figure 8", fig8)
+		run("ablations", ablations)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"aigre/internal/flow"
+)
+
+// table3 reproduces Table III: the rf_resyn and resyn2 optimization
+// sequences, ABC-style sequential versus full-GPU. Per the paper, the GPU
+// resyn2 runs two rewriting passes for each rwz command and one pass for
+// every other command, and GPU refactoring commands run a single pass inside
+// sequences.
+func table3() {
+	fmt.Printf("%-14s | %-24s | %-10s | %-24s | %-12s | %-8s || %-24s | %-10s | %-24s | %-12s | %-8s\n",
+		"Benchmark", "ABC rf_resyn (and/lev)", "time (s)", "GPU rf_resyn (and/lev)", "model (s)", "accel",
+		"ABC resyn2 (and/lev)", "time (s)", "GPU resyn2 (and/lev)", "model (s)", "accel")
+
+	var rfNodeR, rfLevR, rfAccel, r2NodeR, r2LevR, r2Accel geo
+	for _, c := range suiteCases() {
+		a := c.Build()
+
+		seqRF, seqRFWall := runSeqScript(a, flow.RfResyn)
+		parRF, _, parRFModel, _ := runParScript(a, flow.RfResyn, 1, 1)
+		verify(c.Name+"/rf_resyn", a, parRF)
+
+		seqR2, seqR2Wall := runSeqScript(a, flow.Resyn2)
+		parR2, _, parR2Model, _ := runParScript(a, flow.Resyn2, 2, 1)
+		verify(c.Name+"/resyn2", a, parR2)
+
+		accelRF := seqRFWall.Seconds() / parRFModel.Seconds()
+		accelR2 := seqR2Wall.Seconds() / parR2Model.Seconds()
+		fmt.Printf("%-14s | %9d /%5d          | %-10s | %9d /%5d          | %-12s | %7.1fx || %9d /%5d          | %-10s | %9d /%5d          | %-12s | %7.1fx\n",
+			c.Name,
+			seqRF.NumAnds(), seqRF.Levels(), fmtDur(seqRFWall),
+			parRF.NumAnds(), parRF.Levels(), fmtDur(parRFModel), accelRF,
+			seqR2.NumAnds(), seqR2.Levels(), fmtDur(seqR2Wall),
+			parR2.NumAnds(), parR2.Levels(), fmtDur(parR2Model), accelR2)
+
+		rfNodeR.add(ratio(parRF.NumAnds(), seqRF.NumAnds()))
+		rfLevR.add(ratio(parRF.Levels(), seqRF.Levels()))
+		rfAccel.add(accelRF)
+		r2NodeR.add(ratio(parR2.NumAnds(), seqR2.NumAnds()))
+		r2LevR.add(ratio(parR2.Levels(), seqR2.Levels()))
+		r2Accel.add(accelR2)
+	}
+	fmt.Println()
+	fmt.Println("TABLE III geomean ratios, GPU vs ABC-style (paper: rf_resyn 0.996/1.000 @39.5x; resyn2 1.003/0.982 @45.9x)")
+	fmt.Printf("  rf_resyn:  nodes %.3f  levels %.3f  accel %.1fx\n", rfNodeR.mean(), rfLevR.mean(), rfAccel.mean())
+	fmt.Printf("  resyn2:    nodes %.3f  levels %.3f  accel %.1fx\n", r2NodeR.mean(), r2LevR.mean(), r2Accel.mean())
+}

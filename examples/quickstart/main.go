@@ -1,0 +1,67 @@
+// Quickstart: build a small circuit with the public API, optimize it with
+// the paper's parallel algorithms, and verify equivalence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aigre"
+)
+
+func main() {
+	// Build a deliberately clumsy circuit: a wide AND chain (deep), an
+	// unfactored sum of products, and a few XORs — the kinds of structure
+	// balancing, refactoring, and rewriting each know how to fix.
+	const nPIs = 24
+	n := aigre.New(nPIs)
+	rng := rand.New(rand.NewSource(7))
+
+	// Deep AND chain over all inputs (depth 23; balancing gets depth 5).
+	chain := n.PI(0)
+	for i := 1; i < nPIs; i++ {
+		chain = n.AddAnd(chain, n.PI(i))
+	}
+	n.AddPO(chain)
+
+	// Unfactored sums of products sharing divisors (refactoring compresses).
+	for o := 0; o < 4; o++ {
+		sum := aigre.Const0
+		x := n.PI(rng.Intn(nPIs))
+		for c := 0; c < 5; c++ {
+			y := n.PI(rng.Intn(nPIs))
+			sum = n.AddOr(sum, n.AddAnd(x, y))
+		}
+		n.AddPO(sum)
+	}
+
+	// Some XOR trees (rewriting recognizes their optimal forms).
+	x := n.PI(0)
+	for i := 1; i < 8; i++ {
+		x = n.AddXor(x, n.PI(i))
+	}
+	n.AddPO(x)
+
+	fmt.Println("original: ", n.Stats())
+
+	// Run the paper's fully parallel resyn2 sequence.
+	res, err := n.Resyn2(aigre.Options{Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("resyn2:   ", res.AIG.Stats())
+	fmt.Printf("wall time %v, modeled device time %v\n", res.Wall, res.Modeled)
+	for _, t := range res.Timings {
+		fmt.Printf("  %-4s -> %5d nodes, %3d levels\n", t.Command, t.NodesAfter, t.LevelsAfter)
+	}
+
+	// Always verify: combinational equivalence checking (simulation + SAT).
+	eq, err := res.AIG.EquivalentTo(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equivalent:", eq)
+}

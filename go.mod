@@ -1,0 +1,3 @@
+module aigre
+
+go 1.22

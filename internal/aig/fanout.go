@@ -1,0 +1,132 @@
+package aig
+
+import "fmt"
+
+// EnableFanouts builds fanout lists and PO reference counts for the current
+// network. Fanout tracking is required by in-place editing (ReplaceNode) and
+// by reference-count based MFFC computation. NewAnd keeps the structures up
+// to date once enabled.
+func (a *AIG) EnableFanouts() {
+	n := len(a.fanin0)
+	a.fanouts = make([][]int32, n)
+	a.nPORefs = make([]int32, n)
+	if a.deleted == nil {
+		a.deleted = make([]bool, n)
+	}
+	for id := a.numPIs + 1; int(id) < n; id++ {
+		if a.deleted[id] {
+			continue
+		}
+		a.addFanout(a.fanin0[id].Var(), id)
+		a.addFanout(a.fanin1[id].Var(), id)
+	}
+	for _, p := range a.pos {
+		a.nPORefs[p.Var()]++
+	}
+}
+
+// HasFanouts reports whether fanout tracking is enabled.
+func (a *AIG) HasFanouts() bool { return a.fanouts != nil }
+
+func (a *AIG) addFanout(v, fanout int32) {
+	a.fanouts[v] = append(a.fanouts[v], fanout)
+}
+
+func (a *AIG) removeFanout(v, fanout int32) {
+	fo := a.fanouts[v]
+	for i, f := range fo {
+		if f == fanout {
+			fo[i] = fo[len(fo)-1]
+			a.fanouts[v] = fo[:len(fo)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("aig: fanout %d not found on node %d", fanout, v))
+}
+
+// FanoutCount returns the number of references to node id: AND fanout edges
+// plus PO references. A node whose two fanins are the same counts twice.
+// Requires EnableFanouts.
+func (a *AIG) FanoutCount(id int32) int {
+	return len(a.fanouts[id]) + int(a.nPORefs[id])
+}
+
+// Fanouts returns the AND fanout node ids of id (PO references excluded).
+// The returned slice is owned by the AIG and must not be modified.
+func (a *AIG) Fanouts(id int32) []int32 { return a.fanouts[id] }
+
+// PORefs returns the number of primary outputs referencing node id.
+func (a *AIG) PORefs(id int32) int { return int(a.nPORefs[id]) }
+
+// FanoutCounts returns a freshly computed reference count per node (AND
+// fanout edges plus PO references) without requiring fanout tracking. The
+// result is suitable as the counts argument of MffcSize / MffcCollect.
+func (a *AIG) FanoutCounts() []int32 {
+	counts := make([]int32, len(a.fanin0))
+	for id := a.numPIs + 1; int(id) < len(a.fanin0); id++ {
+		if a.IsDeleted(id) {
+			continue
+		}
+		counts[a.fanin0[id].Var()]++
+		counts[a.fanin1[id].Var()]++
+	}
+	for _, p := range a.pos {
+		counts[p.Var()]++
+	}
+	return counts
+}
+
+// MffcSize returns the size (number of AND nodes, including the root) of the
+// maximum fanout-free cone of root. counts must hold the current reference
+// counts (see FanoutCounts); it is modified during the computation and fully
+// restored before returning.
+func MffcSize(a *AIG, root int32, counts []int32) int {
+	size, touched := mffcDeref(a, root, counts, nil)
+	for _, v := range touched {
+		counts[v]++
+	}
+	return size
+}
+
+// MffcCollect returns the node ids of the MFFC of root (root included),
+// restoring counts before returning.
+func MffcCollect(a *AIG, root int32, counts []int32) []int32 {
+	nodes := []int32{root}
+	_, touched := mffcDeref(a, root, counts, func(v int32) {
+		nodes = append(nodes, v)
+	})
+	for _, v := range touched {
+		counts[v]++
+	}
+	return nodes
+}
+
+// mffcDeref dereferences the cone below root, counting nodes whose reference
+// count drops to zero (they belong to the MFFC). It returns the MFFC size
+// and the list of nodes whose count was decremented (for restoration).
+// onMember, when non-nil, is called for every MFFC member except the root.
+func mffcDeref(a *AIG, root int32, counts []int32, onMember func(int32)) (int, []int32) {
+	size := 1
+	touched := make([]int32, 0, 16)
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range [2]Lit{a.fanin0[cur], a.fanin1[cur]} {
+			v := f.Var()
+			if !a.IsAnd(v) {
+				continue
+			}
+			counts[v]--
+			touched = append(touched, v)
+			if counts[v] == 0 {
+				size++
+				if onMember != nil {
+					onMember(v)
+				}
+				stack = append(stack, v)
+			}
+		}
+	}
+	return size, touched
+}

@@ -1,0 +1,181 @@
+package aig
+
+import "fmt"
+
+// replPair is one pending in-place replacement.
+type replPair struct {
+	old int32
+	new Lit
+}
+
+// ReplaceNode performs an in-place replacement of node old by literal new:
+// all fanouts and POs of old are redirected to new (preserving edge
+// complementation), and the MFFC of old is deleted. If redirecting a fanout
+// makes it trivial (constant propagation) or a structural duplicate of an
+// existing node, the fanout is replaced in turn, cascading as in ABC's
+// Abc_AigReplace. Requires EnableStrash and EnableFanouts.
+//
+// new must be a live node (or constant/PI literal) that is not in the
+// transitive fanout of old.
+func (a *AIG) ReplaceNode(old int32, new Lit) {
+	if a.strash == nil || a.fanouts == nil {
+		panic("aig: ReplaceNode requires EnableStrash and EnableFanouts")
+	}
+	if !a.IsAnd(old) {
+		panic(fmt.Sprintf("aig: ReplaceNode target %d is not an AND node", old))
+	}
+	stack := []replPair{{old, new}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stack = a.replaceOne(p.old, p.new, stack)
+	}
+}
+
+func (a *AIG) replaceOne(old int32, new Lit, stack []replPair) []replPair {
+	if a.IsDeleted(old) {
+		return stack // already removed by an earlier cascade
+	}
+	if new.Var() == old {
+		if new.IsCompl() {
+			panic("aig: replacing a node by its own complement")
+		}
+		return stack
+	}
+	if a.IsDeleted(new.Var()) {
+		// The scheduled replacement target was deleted by an earlier cascade
+		// (its last reference sat inside a removed cone). Keep old as the
+		// surviving copy and re-register its key, which the duplicate merge
+		// had ceded to the now-deleted node.
+		k := Key(a.fanin0[old], a.fanin1[old])
+		if _, ok := a.strash[k]; !ok {
+			a.strash[k] = old
+		}
+		return stack
+	}
+	// Redirect AND fanouts. Iterate over a snapshot: patchFanin mutates the
+	// fanout list of old.
+	fos := append([]int32(nil), a.fanouts[old]...)
+	for _, f := range fos {
+		if a.IsDeleted(f) {
+			continue
+		}
+		stack = a.patchFanin(f, old, new, stack)
+	}
+	// Redirect POs.
+	if a.nPORefs[old] > 0 {
+		for i, p := range a.pos {
+			if p.Var() == old {
+				a.SetPO(i, new.NotCond(p.IsCompl()))
+			}
+		}
+	}
+	// old is now unreferenced; delete its MFFC.
+	if a.FanoutCount(old) == 0 {
+		a.deleteCone(old)
+	}
+	return stack
+}
+
+// patchFanin rewrites every fanin edge of node f that points at old so that
+// it points at new (preserving complementation), maintaining the strash
+// table and fanout lists, and scheduling a cascaded replacement when f
+// becomes trivial or duplicate.
+func (a *AIG) patchFanin(f, old int32, new Lit, stack []replPair) []replPair {
+	of0, of1 := a.fanin0[f], a.fanin1[f]
+	nf0, nf1 := of0, of1
+	if of0.Var() == old {
+		nf0 = new.NotCond(of0.IsCompl())
+	}
+	if of1.Var() == old {
+		nf1 = new.NotCond(of1.IsCompl())
+	}
+	if nf0 == of0 && nf1 == of1 {
+		return stack // f may appear in the snapshot after an earlier patch
+	}
+	if nf0 > nf1 {
+		nf0, nf1 = nf1, nf0
+	}
+	// Unhook the old key and fanout edges.
+	oldKey := Key(of0, of1)
+	if id, ok := a.strash[oldKey]; ok && id == f {
+		delete(a.strash, oldKey)
+	}
+	a.removeFanout(of0.Var(), f)
+	a.removeFanout(of1.Var(), f)
+	// Hook up the new fanins.
+	a.fanin0[f] = nf0
+	a.fanin1[f] = nf1
+	a.addFanout(nf0.Var(), f)
+	a.addFanout(nf1.Var(), f)
+
+	if lit, ok := SimplifyAnd(nf0, nf1); ok {
+		// f became trivial; replace it by the simplified literal.
+		return append(stack, replPair{f, lit})
+	}
+	newKey := Key(nf0, nf1)
+	if g, ok := a.strash[newKey]; ok && g != f && !a.IsDeleted(g) {
+		// f became a structural duplicate of g.
+		return append(stack, replPair{f, MakeLit(g, false)})
+	}
+	a.strash[newKey] = f
+	return stack
+}
+
+// deleteCone removes root and, recursively, fanins whose reference count
+// drops to zero (root's MFFC). Nodes are unhooked from the strash table and
+// the fanout lists and marked deleted.
+func (a *AIG) deleteCone(root int32) {
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.IsDeleted(cur) || !a.IsAnd(cur) {
+			continue
+		}
+		if a.FanoutCount(cur) != 0 {
+			continue
+		}
+		f0, f1 := a.fanin0[cur], a.fanin1[cur]
+		k := Key(f0, f1)
+		if id, ok := a.strash[k]; ok && id == cur {
+			delete(a.strash, k)
+		}
+		a.removeFanout(f0.Var(), cur)
+		a.removeFanout(f1.Var(), cur)
+		a.deleted[cur] = true
+		a.numDead++
+		a.fanouts[cur] = nil
+		if v := f0.Var(); a.IsAnd(v) && a.FanoutCount(v) == 0 {
+			stack = append(stack, v)
+		}
+		if v := f1.Var(); a.IsAnd(v) && a.FanoutCount(v) == 0 && v != f0.Var() {
+			stack = append(stack, v)
+		}
+	}
+}
+
+// RemoveIfDangling deletes the cone of id when id has no references left
+// (convenience for callers that speculatively built nodes). Requires
+// EnableFanouts.
+func (a *AIG) RemoveIfDangling(id int32) {
+	if a.IsAnd(id) && !a.IsDeleted(id) && a.FanoutCount(id) == 0 {
+		a.deleteCone(id)
+	}
+}
+
+// SweepDangling deletes every AND node that is not referenced by any PO or
+// live node, in place. Requires EnableFanouts. Returns the number of nodes
+// removed.
+func (a *AIG) SweepDangling() int {
+	if a.fanouts == nil {
+		panic("aig: SweepDangling requires EnableFanouts")
+	}
+	before := a.NumAnds()
+	for id := a.numPIs + 1; int(id) < len(a.fanin0); id++ {
+		if !a.IsDeleted(id) && a.FanoutCount(id) == 0 {
+			a.deleteCone(id)
+		}
+	}
+	return before - a.NumAnds()
+}

@@ -1,0 +1,75 @@
+package aig
+
+// Simulate performs 64-way bit-parallel simulation. piValues holds w words
+// per PI (piValues[i] are the patterns of PI i); all PIs must have the same
+// word count. It returns one slice of w words per PO.
+func (a *AIG) Simulate(piValues [][]uint64) [][]uint64 {
+	if len(piValues) != int(a.numPIs) {
+		panic("aig: Simulate needs one value slice per PI")
+	}
+	w := 0
+	if a.numPIs > 0 {
+		w = len(piValues[0])
+	}
+	n := len(a.fanin0)
+	vals := make([][]uint64, n)
+	vals[0] = make([]uint64, w) // constant false
+	for i := 0; i < int(a.numPIs); i++ {
+		if len(piValues[i]) != w {
+			panic("aig: Simulate input width mismatch")
+		}
+		vals[i+1] = piValues[i]
+	}
+	order := a.TopoOrder(false)
+	buf := make([]uint64, len(order)*w)
+	for _, id := range order {
+		v := buf[:w:w]
+		buf = buf[w:]
+		f0, f1 := a.fanin0[id], a.fanin1[id]
+		v0, v1 := vals[f0.Var()], vals[f1.Var()]
+		m0 := maskOf(f0)
+		m1 := maskOf(f1)
+		for j := 0; j < w; j++ {
+			v[j] = (v0[j] ^ m0) & (v1[j] ^ m1)
+		}
+		vals[id] = v
+	}
+	out := make([][]uint64, len(a.pos))
+	for i, p := range a.pos {
+		o := make([]uint64, w)
+		pv := vals[p.Var()]
+		m := maskOf(p)
+		for j := 0; j < w; j++ {
+			o[j] = pv[j] ^ m
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func maskOf(l Lit) uint64 {
+	if l.IsCompl() {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// EvalOnce evaluates the AIG on a single Boolean input assignment and
+// returns the PO values. Intended for small tests; use Simulate for bulk
+// evaluation.
+func (a *AIG) EvalOnce(inputs []bool) []bool {
+	words := make([][]uint64, a.numPIs)
+	for i := range words {
+		w := uint64(0)
+		if inputs[i] {
+			w = 1
+		}
+		words[i] = []uint64{w}
+	}
+	sim := a.Simulate(words)
+	out := make([]bool, len(sim))
+	for i := range sim {
+		out[i] = sim[i][0]&1 != 0
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package aig
+
+// NodeLevels returns the level (delay) of every node: PIs and the constant
+// are level 0, an AND node is 1 + max(level of fanins). The computation is
+// iterative and tolerates non-topological id order (after in-place edits).
+// Deleted nodes have level 0.
+func (a *AIG) NodeLevels() []int32 {
+	n := len(a.fanin0)
+	level := make([]int32, n)
+	if a.isTopoByID() {
+		for id := int(a.numPIs) + 1; id < n; id++ {
+			if a.IsDeleted(int32(id)) {
+				continue
+			}
+			l0 := level[a.fanin0[id].Var()]
+			l1 := level[a.fanin1[id].Var()]
+			level[id] = max32(l0, l1) + 1
+		}
+		return level
+	}
+	done := make([]bool, n)
+	done[0] = true
+	for id := int32(1); id <= a.numPIs; id++ {
+		done[id] = true
+	}
+	var stack []int32
+	for id := a.numPIs + 1; int(id) < n; id++ {
+		if done[id] || a.IsDeleted(id) {
+			continue
+		}
+		stack = append(stack[:0], id)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			v0 := a.fanin0[cur].Var()
+			v1 := a.fanin1[cur].Var()
+			if !done[v0] {
+				stack = append(stack, v0)
+				continue
+			}
+			if !done[v1] {
+				stack = append(stack, v1)
+				continue
+			}
+			level[cur] = max32(level[v0], level[v1]) + 1
+			done[cur] = true
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return level
+}
+
+// Levels returns the delay of the AIG: the maximum level over all POs.
+func (a *AIG) Levels() int {
+	level := a.NodeLevels()
+	var m int32
+	for _, p := range a.pos {
+		if l := level[p.Var()]; l > m {
+			m = l
+		}
+	}
+	return int(m)
+}
+
+// isTopoByID reports whether every AND node's fanins have smaller ids, which
+// holds for freshly constructed AIGs and allows linear-scan algorithms.
+func (a *AIG) isTopoByID() bool {
+	for id := int(a.numPIs) + 1; id < len(a.fanin0); id++ {
+		if a.IsDeleted(int32(id)) {
+			continue
+		}
+		if int(a.fanin0[id].Var()) >= id || int(a.fanin1[id].Var()) >= id {
+			return false
+		}
+	}
+	return true
+}
+
+// TopoOrder returns the live AND node ids in a topological order (fanins
+// before fanouts), restricted to nodes reachable from the POs when
+// reachableOnly is true.
+func (a *AIG) TopoOrder(reachableOnly bool) []int32 {
+	n := len(a.fanin0)
+	order := make([]int32, 0, a.NumAnds())
+	visited := make([]bool, n)
+	visited[0] = true
+	for id := int32(1); id <= a.numPIs; id++ {
+		visited[id] = true
+	}
+	var stack []int32
+	visit := func(root int32) {
+		if visited[root] {
+			return
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			if visited[cur] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			v0 := a.fanin0[cur].Var()
+			v1 := a.fanin1[cur].Var()
+			if !visited[v0] {
+				stack = append(stack, v0)
+				continue
+			}
+			if !visited[v1] {
+				stack = append(stack, v1)
+				continue
+			}
+			visited[cur] = true
+			order = append(order, cur)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if reachableOnly {
+		for _, p := range a.pos {
+			if a.IsAnd(p.Var()) {
+				visit(p.Var())
+			}
+		}
+	} else {
+		for id := a.numPIs + 1; int(id) < n; id++ {
+			if !a.IsDeleted(id) {
+				visit(id)
+			}
+		}
+	}
+	return order
+}
+
+// CountReachable returns the number of AND nodes reachable from the POs.
+func (a *AIG) CountReachable() int {
+	return len(a.TopoOrder(true))
+}
+
+// Compact returns a new AIG containing only the nodes reachable from the
+// POs, renumbered in topological order, along with a literal map from old
+// node ids to new literals (old dangling nodes map to ConstFalse). This is
+// the "dangling node removal" primitive: nodes not reachable from any PO are
+// dropped.
+func (a *AIG) Compact() (*AIG, []Lit) {
+	order := a.TopoOrder(true)
+	out := NewCap(int(a.numPIs), int(a.numPIs)+1+len(order))
+	out.Name = a.Name
+	mp := make([]Lit, len(a.fanin0))
+	mp[0] = ConstFalse
+	for id := int32(1); id <= a.numPIs; id++ {
+		mp[id] = MakeLit(id, false)
+	}
+	for _, id := range order {
+		f0 := a.fanin0[id]
+		f1 := a.fanin1[id]
+		n0 := mp[f0.Var()].NotCond(f0.IsCompl())
+		n1 := mp[f1.Var()].NotCond(f1.IsCompl())
+		mp[id] = out.AddAndUnchecked(n0, n1)
+	}
+	for _, p := range a.pos {
+		out.AddPO(mp[p.Var()].NotCond(p.IsCompl()))
+	}
+	return out, mp
+}
+
+// Rehash returns a new AIG rebuilt with full structural hashing and constant
+// propagation, removing duplicate and dangling nodes in one pass. It is the
+// sequential reference for the parallel de-duplication pass.
+func (a *AIG) Rehash() *AIG {
+	order := a.TopoOrder(true)
+	out := NewCap(int(a.numPIs), int(a.numPIs)+1+len(order))
+	out.Name = a.Name
+	out.EnableStrash()
+	mp := make([]Lit, len(a.fanin0))
+	mp[0] = ConstFalse
+	for id := int32(1); id <= a.numPIs; id++ {
+		mp[id] = MakeLit(id, false)
+	}
+	for _, id := range order {
+		f0 := a.fanin0[id]
+		f1 := a.fanin1[id]
+		n0 := mp[f0.Var()].NotCond(f0.IsCompl())
+		n1 := mp[f1.Var()].NotCond(f1.IsCompl())
+		mp[id] = out.NewAnd(n0, n1)
+	}
+	for _, p := range a.pos {
+		out.AddPO(mp[p.Var()].NotCond(p.IsCompl()))
+	}
+	final, _ := out.Compact()
+	return final
+}
+
+func max32(x, y int32) int32 {
+	if x > y {
+		return x
+	}
+	return y
+}

@@ -1,0 +1,163 @@
+package aiger
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aigre/internal/aig"
+)
+
+func TestReadASCIIBasic(t *testing.T) {
+	// Half adder: sum = a^b, carry = a&b.
+	src := `aag 5 2 0 2 3
+2
+4
+10
+6
+6 2 4
+8 3 5
+10 7 9
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 2 || a.NumPOs() != 2 || a.NumAnds() != 3 {
+		t.Fatalf("stats = %v", a.Stats())
+	}
+	for v := 0; v < 4; v++ {
+		in := []bool{v&1 != 0, v&2 != 0}
+		out := a.EvalOnce(in)
+		if out[0] != (in[0] != in[1]) {
+			t.Errorf("sum(%v) = %v", in, out[0])
+		}
+		if out[1] != (in[0] && in[1]) {
+			t.Errorf("carry(%v) = %v", in, out[1])
+		}
+	}
+}
+
+func TestReadRejectsLatches(t *testing.T) {
+	_, err := Read(strings.NewReader("aag 1 0 1 0 0\n2 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "latches") {
+		t.Errorf("want latch error, got %v", err)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"bogus 1 2 3 4 5\n",
+		"aag 1 2\n",
+		"aag 2 1 0 0 2\n",       // M != I+A
+		"aag 1 1 0 1 0\n4\n9\n", // out literal out of range... header says M=1 so max lit=3
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted malformed input %q", src)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, a *aig.AIG, binary bool) *aig.AIG {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if binary {
+		err = WriteBinary(&buf, a)
+	} else {
+		err = WriteASCII(&buf, a)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	return b
+}
+
+func simEqual(a, b *aig.AIG, seed int64) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([][]uint64, a.NumPIs())
+	for i := range ins {
+		ins[i] = []uint64{rng.Uint64(), rng.Uint64()}
+	}
+	sa, sb := a.Simulate(ins), b.Simulate(ins)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickRoundTripASCII(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 5, 60, 4)
+		b := roundTrip(t, a, false)
+		return simEqual(a, b, seed) && a.NumAnds() == b.NumAnds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 6, 100, 3)
+		b := roundTrip(t, a, true)
+		return simEqual(a, b, seed) && a.NumAnds() == b.NumAnds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCompactsNonCanonical(t *testing.T) {
+	a := aig.New(2)
+	a.EnableStrash()
+	keep := a.NewAnd(a.PI(0), a.PI(1))
+	a.NewAnd(a.PI(0), a.PI(1).Not()) // dangling
+	a.AddPO(keep)
+	a.EnableFanouts()
+	a.SweepDangling()
+	b := roundTrip(t, a, true)
+	if b.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", b.NumAnds())
+	}
+	if !simEqual(a, b, 11) {
+		t.Errorf("function changed")
+	}
+}
+
+func TestBinaryDeltaEncoding(t *testing.T) {
+	for _, d := range []uint64{0, 1, 127, 128, 16383, 16384, 1 << 28} {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := writeDelta(bw, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readDelta(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("delta %d: %v", d, err)
+		}
+		if got != d {
+			t.Errorf("delta %d round-tripped to %d", d, got)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aigre/internal/aig"
+)
+
+// Adder builds a W-bit ripple-carry adder (sum + carry-out POs).
+func Adder(w int) *aig.AIG {
+	b := NewBuilder(w, w)
+	sum, carry := b.Add(b.Input(0), b.Input(1), aig.ConstFalse)
+	b.Output(sum)
+	b.A.AddPO(carry)
+	b.A.Name = fmt.Sprintf("adder%d", w)
+	return finish(b)
+}
+
+// Multiplier builds a WxW array multiplier with a 2W-bit product.
+func Multiplier(w int) *aig.AIG {
+	b := NewBuilder(w, w)
+	b.Output(b.Mul(b.Input(0), b.Input(1)))
+	b.A.Name = fmt.Sprintf("multiplier%d", w)
+	return finish(b)
+}
+
+// Square builds the square of a W-bit word.
+func Square(w int) *aig.AIG {
+	b := NewBuilder(w)
+	x := b.Input(0)
+	b.Output(b.Mul(x, x))
+	b.A.Name = fmt.Sprintf("square%d", w)
+	return finish(b)
+}
+
+// Div builds a W-bit restoring divider (quotient and remainder POs); like
+// the EPFL div it is very deep.
+func Div(w int) *aig.AIG {
+	b := NewBuilder(w, w)
+	q, r := b.DivMod(b.Input(0), b.Input(1))
+	b.Output(q)
+	b.Output(r)
+	b.A.Name = fmt.Sprintf("div%d", w)
+	return finish(b)
+}
+
+// Sqrt builds a W-bit integer square root (deep dependent chain).
+func Sqrt(w int) *aig.AIG {
+	b := NewBuilder(w)
+	b.Output(b.Sqrt(b.Input(0)))
+	b.A.Name = fmt.Sprintf("sqrt%d", w)
+	return finish(b)
+}
+
+// Hyp builds sqrt(a^2 + b^2), the hypotenuse function — the deepest circuit
+// of the suite, like EPFL hyp.
+func Hyp(w int) *aig.AIG {
+	b := NewBuilder(w, w)
+	a2 := b.Mul(b.Input(0), b.Input(0))
+	b2 := b.Mul(b.Input(1), b.Input(1))
+	sum, carry := b.Add(a2, b2, aig.ConstFalse)
+	b.Output(b.Sqrt(append(sum, carry)))
+	b.A.Name = fmt.Sprintf("hyp%d", w)
+	return finish(b)
+}
+
+// Log2 builds a fixed-point base-2 logarithm: a priority encoder for the
+// integer part plus a barrel normalizer whose mantissa provides fraction
+// bits (linear approximation), mixing encoder, shifter and adder structure
+// like the EPFL log2.
+func Log2(w int) *aig.AIG {
+	b := NewBuilder(w)
+	x := b.Input(0)
+	msb, found := b.PriorityEncode(x)
+	// Normalize: x << (w-1 - msb) brings the leading one to the top.
+	shifted := b.BarrelShiftLeft(x, b.Not(msb)) // (w-1)-msb when w is a power of two
+	frac := shifted[:len(shifted)-1]            // bits below the leading one
+	b.Output(msb)
+	b.A.AddPO(found)
+	// A refinement stage: frac + frac^2/2 truncated (one multiplier).
+	sq := b.Mul(frac, frac)
+	ref, _ := b.Add(frac, b.ShiftRightConst(sq[len(frac):], 1), aig.ConstFalse)
+	b.Output(ref)
+	b.A.Name = fmt.Sprintf("log2_%d", w)
+	return finish(b)
+}
+
+// Sin builds a fixed-point polynomial approximation of sine:
+// s = x - x^3/6 + x^5/120 with power-of-two reciprocal scaling, a
+// multiplier-dominated circuit like the EPFL sin.
+func Sin(w int) *aig.AIG {
+	b := NewBuilder(w)
+	x := b.Input(0)
+	x2 := b.Mul(x, x)[:w]
+	x3 := b.Mul(x2, x)[:w]
+	x5 := b.Mul(x3, x2)[:w]
+	// 1/6 ~ 1/8 + 1/32, 1/120 ~ 1/128: shift-add reciprocals.
+	t3, _ := b.Add(b.ShiftRightConst(x3, 3), b.ShiftRightConst(x3, 5), aig.ConstFalse)
+	t5 := b.ShiftRightConst(x5, 7)
+	d, _ := b.Sub(x, t3)
+	s, _ := b.Add(d, t5, aig.ConstFalse)
+	b.Output(s)
+	b.A.Name = fmt.Sprintf("sin%d", w)
+	return finish(b)
+}
+
+// Voter builds an n-input majority (popcount + threshold compare), like the
+// EPFL voter: wide and shallow.
+func Voter(n int) *aig.AIG {
+	b := NewBuilder(n)
+	count := b.Popcount(b.Input(0))
+	threshold := b.Const(len(count), uint64(n/2))
+	b.A.AddPO(b.Ult(threshold, count))
+	b.A.Name = fmt.Sprintf("voter%d", n)
+	return finish(b)
+}
+
+// controlStyle builds seeded, structured control logic: address decoders,
+// comparators against constants, and mux trees driven by opcode fields —
+// wide and shallow like the IWLS-2005 OpenCores controllers.
+func controlStyle(name string, seed int64, nWords, w int) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	widths := make([]int, nWords)
+	for i := range widths {
+		widths[i] = w
+	}
+	b := NewBuilder(widths...)
+	var signals []aig.Lit
+	for o := 0; o < nWords*2; o++ {
+		x := b.Input(rng.Intn(nWords))
+		y := b.Input(rng.Intn(nWords))
+		var l aig.Lit
+		switch rng.Intn(4) {
+		case 0: // decode against a random constant
+			l = b.Eq(x, b.Const(w, uint64(rng.Intn(1<<uint(min(w, 16))))))
+		case 1: // magnitude compare
+			l = b.Ult(x, y)
+		case 2: // parity of a masked field
+			l = b.ReduceXor(b.And(x, y))
+		default: // mux-selected bit
+			sel := b.Ult(x, b.Const(w, uint64(rng.Intn(1<<uint(min(w, 16))))))
+			m := b.MuxWord(sel, x, y)
+			l = m[rng.Intn(w)]
+		}
+		signals = append(signals, l)
+	}
+	// Next-state style outputs: small AND-OR clouds over the signals.
+	for o := 0; o < nWords; o++ {
+		acc := aig.ConstFalse
+		for t := 0; t < 4; t++ {
+			term := aig.ConstTrue
+			for k := 0; k < 3; k++ {
+				s := signals[rng.Intn(len(signals))].NotCond(rng.Intn(2) == 0)
+				term = b.A.NewAnd(term, s)
+			}
+			acc = b.A.Or(acc, term)
+		}
+		b.A.AddPO(acc)
+	}
+	b.A.Name = name
+	return finish(b)
+}
+
+// MemCtrl builds a mem_ctrl-style control circuit.
+func MemCtrl(scale int) *aig.AIG {
+	return controlStyle("mem_ctrl", 1005, 12*scale, 16)
+}
+
+// AC97Ctrl builds an ac97_ctrl-style control circuit (very shallow).
+func AC97Ctrl(scale int) *aig.AIG {
+	return controlStyle("ac97_ctrl", 97, 16*scale, 8)
+}
+
+// VGALcd builds a vga_lcd-style control circuit.
+func VGALcd(scale int) *aig.AIG {
+	return controlStyle("vga_lcd", 640, 10*scale, 12)
+}
+
+// MtM builds an EPFL MtM-style random-function benchmark. The EPFL MtM
+// circuits are synthesized from random Boolean functions and are therefore
+// largely tree-shaped (modest fanout sharing, shallow-ish): the generator
+// combines random signals and mostly consumes them, yielding wide forests
+// with occasional sharing, unlike datapath circuits.
+func MtM(name string, seed int64, nodes int) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	// The EPFL MtM circuits are shallow and very wide with large PI counts
+	// (e.g. twentythree: 23M nodes, 176 levels); a generous PI pool keeps
+	// cone functions non-degenerate (few repeated leaves per cone).
+	nPIs := nodes / 6
+	if nPIs < 64 {
+		nPIs = 64
+	}
+	a := aig.NewCap(nPIs, nPIs+1+nodes)
+	a.EnableStrash()
+	pool := make([]aig.Lit, 0, nodes)
+	// pick selects an operand: a PI half of the time, otherwise a uniformly
+	// chosen tree root that is usually consumed (fanout stays near one, the
+	// forest combines like a random binary tree: logarithmic depth). The
+	// pool index to consume is returned so that consumption happens only
+	// when a real node is created — otherwise trees would leak into
+	// dangling logic.
+	pick := func() (aig.Lit, int) {
+		if len(pool) > 0 && rng.Intn(100) >= 35 {
+			i := rng.Intn(len(pool))
+			if rng.Intn(100) < 60 {
+				return pool[i], i // consume the root
+			}
+			return pool[i], -1 // reuse without consuming (fanout sharing)
+		}
+		return a.PI(rng.Intn(nPIs)), -1
+	}
+	for a.NumAnds() < nodes {
+		l0, i0 := pick()
+		l1, i1 := pick()
+		l0 = l0.NotCond(rng.Intn(2) == 0)
+		l1 = l1.NotCond(rng.Intn(2) == 0)
+		before := a.NumObjs()
+		var l aig.Lit
+		// Mix connectives: AND-only random trees drift toward constant
+		// functions; XOR keeps the function distribution unbiased, as for
+		// genuine random Boolean functions.
+		switch r := rng.Intn(100); {
+		case r < 50:
+			l = a.NewAnd(l0, l1)
+		case r < 70:
+			l = a.Or(l0, l1)
+		default:
+			l = a.Xor(l0, l1)
+		}
+		if a.NumObjs() == before {
+			continue // simplified or shared: leave the pool untouched
+		}
+		// Remove consumed roots, higher index first so swap-removal keeps
+		// the lower index valid; a doubly-picked entry is consumed once.
+		if i0 == i1 {
+			i1 = -1
+		}
+		if i0 < i1 {
+			i0, i1 = i1, i0
+		}
+		for _, i := range [2]int{i0, i1} {
+			if i >= 0 {
+				pool[i] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+			}
+		}
+		pool = append(pool, l)
+	}
+	// The surviving pool entries are the tree roots.
+	for _, l := range pool {
+		a.AddPO(l)
+	}
+	a.Name = name
+	out := a.Rehash()
+	out.Name = name
+	return out
+}
+
+// Double returns a network containing two disjoint copies of a (fresh PIs
+// and POs), the ABC `double` command used by the paper to enlarge
+// benchmarks. Node count and PO count double; levels are unchanged.
+func Double(a *aig.AIG) *aig.AIG {
+	out := aig.NewCap(2*a.NumPIs(), 2*a.NumObjs())
+	out.Name = a.Name + "_d"
+	for copyIdx := 0; copyIdx < 2; copyIdx++ {
+		base := int32(copyIdx * a.NumPIs())
+		mp := make([]aig.Lit, a.NumObjs())
+		mp[0] = aig.ConstFalse
+		for i := 1; i <= a.NumPIs(); i++ {
+			mp[i] = aig.MakeLit(base+int32(i), false)
+		}
+		for _, id := range a.TopoOrder(true) {
+			f0, f1 := a.Fanin0(id), a.Fanin1(id)
+			mp[id] = out.AddAndUnchecked(
+				mp[f0.Var()].NotCond(f0.IsCompl()),
+				mp[f1.Var()].NotCond(f1.IsCompl()),
+			)
+		}
+		for _, p := range a.POs() {
+			out.AddPO(mp[p.Var()].NotCond(p.IsCompl()))
+		}
+	}
+	return out
+}
+
+// DoubleN applies Double n times (2^n copies), like the paper's "_nxd"
+// benchmark naming.
+func DoubleN(a *aig.AIG, n int) *aig.AIG {
+	name := a.Name
+	for i := 0; i < n; i++ {
+		a = Double(a)
+	}
+	a.Name = fmt.Sprintf("%s_%dxd", name, n)
+	return a
+}
+
+// finish compacts the built network (dropping any dangling scaffolding).
+func finish(b *Builder) *aig.AIG {
+	out, _ := b.A.Compact()
+	out.Name = b.A.Name
+	return out
+}
+
+func min(x, y int) int {
+	if x < y {
+		return x
+	}
+	return y
+}

@@ -1,0 +1,63 @@
+package bench
+
+import "aigre/internal/aig"
+
+// Case is one named benchmark in the experiment suite.
+type Case struct {
+	Name  string
+	Build func() *aig.AIG
+}
+
+// Suite returns the 14 benchmark families of the paper's Table II, scaled
+// by the given factor (1 = smallest, suitable for unit-scale runs; larger
+// factors enlarge the circuits with MtM size scaling and ABC-style
+// doubling). The mix matches the paper: three MtM random functions, nine
+// arithmetic circuits, two (three with vga_lcd) control circuits.
+func Suite(scale int) []Case {
+	if scale < 1 {
+		scale = 1
+	}
+	dbl := 0
+	for s := scale; s > 1; s >>= 1 {
+		dbl++
+	}
+	d := func(build func() *aig.AIG) func() *aig.AIG {
+		return func() *aig.AIG { return DoubleN(build(), dbl) }
+	}
+	return []Case{
+		{"twentythree", func() *aig.AIG { return MtM("twentythree", 23, 2300*scale) }},
+		{"twenty", func() *aig.AIG { return MtM("twenty", 20, 2000*scale) }},
+		{"sixteen", func() *aig.AIG { return MtM("sixteen", 16, 1600*scale) }},
+		{"div", d(func() *aig.AIG { return Div(24) })},
+		{"hyp", d(func() *aig.AIG { return Hyp(16) })},
+		{"mem_ctrl", d(func() *aig.AIG { return MemCtrl(2) })},
+		{"log2", d(func() *aig.AIG { return Log2(32) })},
+		{"multiplier", d(func() *aig.AIG { return Multiplier(32) })},
+		{"sqrt", d(func() *aig.AIG { return Sqrt(48) })},
+		{"square", d(func() *aig.AIG { return Square(32) })},
+		{"voter", func() *aig.AIG { return Voter(401 * scale) }},
+		{"sin", d(func() *aig.AIG { return Sin(16) })},
+		{"ac97_ctrl", d(func() *aig.AIG { return AC97Ctrl(4) })},
+		{"vga_lcd", d(func() *aig.AIG { return VGALcd(3) })},
+	}
+}
+
+// ByName builds a single suite case; ok is false for unknown names.
+func ByName(name string, scale int) (*aig.AIG, bool) {
+	for _, c := range Suite(scale) {
+		if c.Name == name {
+			return c.Build(), true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the suite benchmark names in table order.
+func Names() []string {
+	cases := Suite(1)
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.Name
+	}
+	return out
+}

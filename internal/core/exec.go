@@ -1,0 +1,138 @@
+package core
+
+import "aigre/internal/aig"
+
+// virtualLit marks a dry-run result that does not exist in the AIG yet.
+const virtualLit = aig.Lit(0xFFFFFFFE)
+
+// DryRunCost estimates how many new nodes building prog would create,
+// counting structural-hash hits on existing nodes as free (DAG-aware
+// evaluation, as in ABC's rewriting/refactoring gain). Ops whose operands do
+// not exist yet always cost one node.
+//
+// mffc, when non-nil, holds the MFFC members of the root being replaced
+// (see MffcMembers): a structural hit on an MFFC node still resolves to the
+// real literal (the node survives if reused), but it and every not-yet-
+// revived MFFC node in its transitive fanin are charged one node each,
+// because they would otherwise have been deleted. This mirrors ABC's
+// dereference-before-counting and keeps gain = mffcSize - cost an exact
+// lower bound on the area improvement.
+func DryRunCost(a *aig.AIG, prog Program, leaves []aig.Lit, mffc map[int32]bool) int {
+	results := make([]aig.Lit, len(prog.Ops))
+	cost := 0
+	var revived map[int32]bool
+	revive := func(root int32) {
+		if revived == nil {
+			revived = make(map[int32]bool, 8)
+		}
+		stack := []int32{root}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !mffc[v] || revived[v] {
+				continue
+			}
+			revived[v] = true
+			cost++
+			stack = append(stack, a.Fanin0(v).Var(), a.Fanin1(v).Var())
+		}
+	}
+	for i, op := range prog.Ops {
+		f0 := Resolve(op.A, leaves, results)
+		f1 := Resolve(op.B, leaves, results)
+		if f0.Regular() == virtualLit || f1.Regular() == virtualLit {
+			cost++
+			results[i] = virtualLit
+			continue
+		}
+		if lit, ok := a.Lookup(f0, f1); ok {
+			results[i] = lit
+			if mffc != nil && mffc[lit.Var()] {
+				revive(lit.Var())
+			}
+			continue
+		}
+		cost++
+		results[i] = virtualLit
+	}
+	return cost
+}
+
+// MffcMembers returns the set of MFFC members of root (root included),
+// bounded below by the cut leaves: the dereference never crosses a leaf, so
+// the set contains exactly the nodes that replacing the cone over those
+// leaves would delete. With nil leaves the full MFFC is computed. Uses live
+// fanout counts.
+func MffcMembers(a *aig.AIG, root int32, leaves []int32) map[int32]bool {
+	isLeaf := make(map[int32]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	members := map[int32]bool{root: true}
+	dec := map[int32]int32{}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range [2]aig.Lit{a.Fanin0(cur), a.Fanin1(cur)} {
+			v := f.Var()
+			if !a.IsAnd(v) || isLeaf[v] {
+				continue
+			}
+			dec[v]++
+			if int(dec[v]) == a.FanoutCount(v) {
+				members[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return members
+}
+
+// BuildProgramAvoiding materializes prog in the AIG with structural hashing
+// and returns the root literal. If a structural-hash hit reconstructs the
+// node avoid itself (the node about to be replaced — substituting it would
+// create a cycle), construction is abandoned: speculatively created nodes
+// are removed (requires fanout tracking) and ok is false.
+func BuildProgramAvoiding(a *aig.AIG, prog Program, leaves []aig.Lit, avoid int32) (lit aig.Lit, ok bool) {
+	results := make([]aig.Lit, len(prog.Ops))
+	var created []int32
+	for i, op := range prog.Ops {
+		before := a.NumObjs()
+		results[i] = a.NewAnd(Resolve(op.A, leaves, results), Resolve(op.B, leaves, results))
+		if a.NumObjs() > before {
+			created = append(created, results[i].Var())
+		}
+		if results[i].Var() == avoid {
+			for j := len(created) - 1; j >= 0; j-- {
+				a.RemoveIfDangling(created[j])
+			}
+			return 0, false
+		}
+	}
+	return Resolve(prog.Root, leaves, results), true
+}
+
+// MffcSizeLive computes the MFFC size of root against live fanout counts
+// (EnableFanouts) without mutating them.
+func MffcSizeLive(a *aig.AIG, root int32) int {
+	dec := map[int32]int32{}
+	size := 1
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range [2]aig.Lit{a.Fanin0(cur), a.Fanin1(cur)} {
+			v := f.Var()
+			if !a.IsAnd(v) {
+				continue
+			}
+			dec[v]++
+			if int(dec[v]) == a.FanoutCount(v) {
+				size++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return size
+}

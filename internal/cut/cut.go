@@ -1,0 +1,220 @@
+// Package cut provides cut computation on AIGs: the reconvergence-driven
+// large cuts used by (sequential) refactoring, cone collection and cone
+// truth-table evaluation, and 4-feasible cut enumeration with truth tables
+// for rewriting.
+package cut
+
+import (
+	"aigre/internal/aig"
+	"aigre/internal/truth"
+)
+
+// Reconv computes reconvergence-driven cuts (ABC-style): starting from the
+// trivial cut {root}, it repeatedly expands the leaf whose replacement by
+// its fanins increases the cut size least, stopping when every possible
+// expansion would exceed maxLeaves. A Reconv value amortizes scratch memory
+// across calls; it is not safe for concurrent use.
+type Reconv struct {
+	a      *aig.AIG
+	travID int32
+	trav   []int32 // node id -> last traversal id that visited it
+	leaves []int32
+}
+
+// NewReconv creates a cut computer for a.
+func NewReconv(a *aig.AIG) *Reconv {
+	return &Reconv{a: a, trav: make([]int32, a.NumObjs())}
+}
+
+func (r *Reconv) visited(id int32) bool { return r.trav[id] == r.travID }
+func (r *Reconv) visit(id int32)        { r.trav[id] = r.travID }
+
+// Cut returns the leaves of a reconvergence-driven cut of root with at most
+// maxLeaves leaves. The returned slice is reused by the next call.
+func (r *Reconv) Cut(root int32, maxLeaves int) []int32 {
+	if n := r.a.NumObjs(); n > len(r.trav) {
+		// The AIG has grown since the last call (in-place editing).
+		grown := make([]int32, n)
+		copy(grown, r.trav)
+		r.trav = grown
+	}
+	r.travID++
+	r.leaves = r.leaves[:0]
+	r.leaves = append(r.leaves, root)
+	r.visit(root)
+	for {
+		best := -1
+		bestCost := 3
+		for i, leaf := range r.leaves {
+			if !r.a.IsAnd(leaf) {
+				continue
+			}
+			cost := r.expandCost(leaf)
+			if cost < bestCost {
+				bestCost = cost
+				best = i
+				if cost == 0 {
+					break
+				}
+			}
+		}
+		if best < 0 || len(r.leaves)+bestCost > maxLeaves {
+			break // no expandable leaf, or expansion would exceed the limit
+		}
+		r.expand(best)
+	}
+	return r.leaves
+}
+
+// expandCost returns how many new leaves replacing leaf by its fanins adds
+// (-1, 0 or +1).
+func (r *Reconv) expandCost(leaf int32) int {
+	cost := -1
+	for _, f := range [2]aig.Lit{r.a.Fanin0(leaf), r.a.Fanin1(leaf)} {
+		if !r.visited(f.Var()) {
+			cost++
+		}
+	}
+	return cost
+}
+
+// expand replaces leaves[i] by its unvisited fanins.
+func (r *Reconv) expand(i int) {
+	leaf := r.leaves[i]
+	r.leaves[i] = r.leaves[len(r.leaves)-1]
+	r.leaves = r.leaves[:len(r.leaves)-1]
+	for _, f := range [2]aig.Lit{r.a.Fanin0(leaf), r.a.Fanin1(leaf)} {
+		v := f.Var()
+		if !r.visited(v) {
+			r.visit(v)
+			r.leaves = append(r.leaves, v)
+		}
+	}
+}
+
+// ConeNodes returns the AND nodes of the logic cone of root bounded by
+// leaves, in topological order with root last. The constant node and leaves
+// themselves are not included.
+func ConeNodes(a *aig.AIG, root int32, leaves []int32) []int32 {
+	isLeaf := make(map[int32]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	var order []int32
+	visited := map[int32]bool{}
+	var stack []int32
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		if visited[cur] || isLeaf[cur] || !a.IsAnd(cur) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		v0, v1 := a.Fanin0(cur).Var(), a.Fanin1(cur).Var()
+		ready := true
+		for _, v := range [2]int32{v0, v1} {
+			if !visited[v] && !isLeaf[v] && a.IsAnd(v) {
+				stack = append(stack, v)
+				ready = false
+			}
+		}
+		if !ready {
+			continue
+		}
+		visited[cur] = true
+		order = append(order, cur)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// ConeTruth16 evaluates the function of rootLit over at most four leaves as
+// a 16-bit truth table (leaf i is variable i), the fast path for rewriting.
+// ok is false when the cone escapes the leaf boundary (the leaves do not
+// form a cut).
+func ConeTruth16(a *aig.AIG, rootLit aig.Lit, leaves []int32) (uint16, bool) {
+	var leafTT = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+	tts := make(map[int32]uint16, 8)
+	tts[0] = 0
+	for i, l := range leaves {
+		tts[l] = leafTT[i]
+	}
+	root := rootLit.Var()
+	if _, ok := tts[root]; !ok {
+		// Iterative post-order evaluation bounded by the leaves.
+		stack := []int32{root}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			if _, done := tts[cur]; done {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if !a.IsAnd(cur) {
+				return 0, false // reached a PI outside the cut
+			}
+			f0, f1 := a.Fanin0(cur), a.Fanin1(cur)
+			t0, ok0 := tts[f0.Var()]
+			t1, ok1 := tts[f1.Var()]
+			if !ok0 {
+				stack = append(stack, f0.Var())
+				continue
+			}
+			if !ok1 {
+				stack = append(stack, f1.Var())
+				continue
+			}
+			if f0.IsCompl() {
+				t0 = ^t0
+			}
+			if f1.IsCompl() {
+				t1 = ^t1
+			}
+			tts[cur] = t0 & t1
+			stack = stack[:len(stack)-1]
+			if len(tts) > 4096 {
+				return 0, false // runaway cone: not a valid small cut
+			}
+		}
+	}
+	res := tts[root]
+	if rootLit.IsCompl() {
+		res = ^res
+	}
+	return res, true
+}
+
+// ConeTruth evaluates the function of rootLit over the given leaves: leaf i
+// is variable i. Every path from root to a PI must pass through a leaf
+// (otherwise the function would depend on signals outside the leaf set; the
+// constant node is permitted and evaluates to false).
+func ConeTruth(a *aig.AIG, rootLit aig.Lit, leaves []int32) truth.TT {
+	n := len(leaves)
+	tts := make(map[int32]truth.TT, 2*n)
+	tts[0] = truth.Const(n, false)
+	for i, l := range leaves {
+		tts[l] = truth.Var(n, i)
+	}
+	root := rootLit.Var()
+	if _, ok := tts[root]; !ok {
+		for _, id := range ConeNodes(a, root, leaves) {
+			f0, f1 := a.Fanin0(id), a.Fanin1(id)
+			t0, ok0 := tts[f0.Var()]
+			t1, ok1 := tts[f1.Var()]
+			if !ok0 || !ok1 {
+				panic("cut: cone escapes the leaf boundary")
+			}
+			if f0.IsCompl() {
+				t0 = truth.New(n).Not(t0)
+			}
+			if f1.IsCompl() {
+				t1 = truth.New(n).Not(t1)
+			}
+			tts[id] = truth.New(n).And(t0, t1)
+		}
+	}
+	res := tts[root].Clone()
+	if rootLit.IsCompl() {
+		res.Not(res)
+	}
+	return res
+}

@@ -1,0 +1,132 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aigre/internal/aig"
+	"aigre/internal/gpu"
+)
+
+func simEqual(a, b *aig.AIG) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	ins := make([][]uint64, a.NumPIs())
+	for i := range ins {
+		r := rand.New(rand.NewSource(int64(i)*911 + 3))
+		ins[i] = []uint64{r.Uint64(), r.Uint64()}
+	}
+	sa, sb := a.Simulate(ins), b.Simulate(ins)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDedupMergesCascade(t *testing.T) {
+	// Figure 4: duplicates at one level create new duplicates among their
+	// fanouts, which the level-wise pass must catch.
+	a := aig.New(3)
+	x, y, z := a.PI(0), a.PI(1), a.PI(2)
+	d1 := a.AddAndUnchecked(x, y)
+	d2 := a.AddAndUnchecked(x, y) // duplicate of d1
+	u1 := a.AddAndUnchecked(d1, z)
+	u2 := a.AddAndUnchecked(d2, z) // becomes duplicate after d1/d2 merge
+	top := a.AddAndUnchecked(u1, u2)
+	a.AddPO(top)
+	out, st := Run(gpu.New(1), a)
+	if st.DuplicatesMerged != 2 {
+		t.Errorf("DuplicatesMerged = %d, want 2", st.DuplicatesMerged)
+	}
+	// top = u & u = u after simplification; remaining: d, u.
+	if out.NumAnds() != 2 {
+		t.Errorf("NumAnds = %d, want 2", out.NumAnds())
+	}
+	if !simEqual(a, out) {
+		t.Errorf("function changed")
+	}
+}
+
+func TestDedupRemovesDangling(t *testing.T) {
+	a := aig.New(2)
+	a.EnableStrash()
+	keep := a.NewAnd(a.PI(0), a.PI(1))
+	a.NewAnd(a.PI(0), a.PI(1).Not()) // dangling
+	a.AddPO(keep)
+	out, st := Run(gpu.New(1), a)
+	if out.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", out.NumAnds())
+	}
+	if st.DanglingRemoved != 1 {
+		t.Errorf("DanglingRemoved = %d, want 1", st.DanglingRemoved)
+	}
+}
+
+func TestDedupConstantPropagation(t *testing.T) {
+	a := aig.New(2)
+	x := a.PI(0)
+	n1 := a.AddAndUnchecked(x, x.Not()) // const0
+	n2 := a.AddAndUnchecked(n1, a.PI(1))
+	a.AddPO(n2)
+	a.AddPO(n1.Not())
+	out, st := Run(gpu.New(1), a)
+	if out.NumAnds() != 0 {
+		t.Errorf("NumAnds = %d, want 0", out.NumAnds())
+	}
+	if out.PO(0) != aig.ConstFalse || out.PO(1) != aig.ConstTrue {
+		t.Errorf("POs = %v, %v", out.PO(0), out.PO(1))
+	}
+	if st.TriviallyReduced != 2 {
+		t.Errorf("TriviallyReduced = %d, want 2", st.TriviallyReduced)
+	}
+}
+
+func TestDedupIdempotentOnCleanAIG(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := aig.Random(rng, 8, 300, 5).Rehash()
+	out, st := Run(gpu.New(2), a)
+	if out.NumAnds() != a.NumAnds() {
+		t.Errorf("clean AIG changed: %d -> %d (stats %+v)", a.NumAnds(), out.NumAnds(), st)
+	}
+}
+
+func TestQuickDedupMatchesRehash(t *testing.T) {
+	// The parallel pass must reach the same node count as the sequential
+	// reference (full rehash) and preserve the function.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.New(6)
+		// Build an AIG with unchecked duplicates.
+		lits := make([]aig.Lit, 0, 64)
+		for i := 0; i < 6; i++ {
+			lits = append(lits, a.PI(i))
+		}
+		for i := 0; i < 80; i++ {
+			f0 := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+			f1 := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+			if f0.Var() == f1.Var() {
+				continue
+			}
+			lits = append(lits, a.AddAndUnchecked(f0, f1))
+		}
+		for i := 0; i < 4; i++ {
+			a.AddPO(lits[len(lits)-1-rng.Intn(8)])
+		}
+		par, _ := Run(gpu.New(1+rng.Intn(4)), a)
+		ref := a.Rehash()
+		if par.NumAnds() != ref.NumAnds() {
+			t.Logf("count mismatch: dedup %d vs rehash %d", par.NumAnds(), ref.NumAnds())
+			return false
+		}
+		return simEqual(a, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

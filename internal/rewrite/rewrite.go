@@ -1,0 +1,308 @@
+package rewrite
+
+import (
+	"sort"
+	"sync"
+
+	"aigre/internal/aig"
+	"aigre/internal/core"
+	"aigre/internal/cut"
+	"aigre/internal/gpu"
+	"aigre/internal/truth"
+)
+
+// canonCache memoizes NPN canonization (768 transforms per miss) across all
+// rewriting passes; at most 65536 entries.
+var canonCache sync.Map // uint16 -> canonEntry
+
+type canonEntry struct {
+	canon uint16
+	tr    truth.Npn4Transform
+}
+
+func canonize(tt uint16) (uint16, truth.Npn4Transform) {
+	if e, ok := canonCache.Load(tt); ok {
+		ce := e.(canonEntry)
+		return ce.canon, ce.tr
+	}
+	canon, tr := truth.Npn4Canon(tt)
+	canonCache.Store(tt, canonEntry{canon, tr})
+	return canon, tr
+}
+
+// Options controls both engines.
+type Options struct {
+	// ZeroGain accepts replacements that do not reduce the node count
+	// (ABC's rwz / the paper's modified [9]).
+	ZeroGain bool
+	// MaxCutsPerNode bounds the local cut enumeration. Default 8.
+	MaxCutsPerNode int
+	// Library overrides the NPN subgraph library (nil = DefaultLibrary).
+	Library *Library
+}
+
+func (o Options) normalized() Options {
+	if o.MaxCutsPerNode == 0 {
+		o.MaxCutsPerNode = 8
+	}
+	if o.Library == nil {
+		o.Library = DefaultLibrary
+	}
+	return o
+}
+
+// Stats reports one rewriting pass.
+type Stats struct {
+	NodesConsidered int
+	NodesRewritten  int
+	NodesBefore     int
+	NodesAfter      int
+}
+
+// enumLocalCuts enumerates 4-feasible cuts of n on the current graph by
+// breadth-first leaf expansion (the trivial cut excluded). Results are leaf
+// id sets, sorted, deduplicated, capped at maxCuts.
+func enumLocalCuts(a *aig.AIG, n int32, maxCuts int) [][]int32 {
+	type key [4]int32
+	mk := func(ls []int32) key {
+		var k key
+		copy(k[:], ls)
+		return k
+	}
+	seen := map[key]bool{}
+	var cuts [][]int32
+	queue := [][]int32{{a.Fanin0(n).Var(), a.Fanin1(n).Var()}}
+	for len(queue) > 0 && len(cuts) < maxCuts {
+		cur := queue[0]
+		queue = queue[1:]
+		sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+		// Remove duplicates within the leaf set.
+		ls := cur[:0]
+		for i, v := range cur {
+			if i == 0 || v != cur[i-1] {
+				ls = append(ls, v)
+			}
+		}
+		if seen[mk(ls)] {
+			continue
+		}
+		seen[mk(ls)] = true
+		hasConst := len(ls) > 0 && ls[0] == 0
+		if !hasConst && len(ls) >= 2 {
+			cuts = append(cuts, append([]int32(nil), ls...))
+		}
+		// Expand each AND leaf.
+		for i, v := range ls {
+			if !a.IsAnd(v) {
+				continue
+			}
+			next := make([]int32, 0, len(ls)+1)
+			next = append(next, ls[:i]...)
+			next = append(next, ls[i+1:]...)
+			next = append(next, a.Fanin0(v).Var(), a.Fanin1(v).Var())
+			// Bound before dedup: the union can shrink back under 4.
+			uniq := map[int32]bool{}
+			for _, u := range next {
+				uniq[u] = true
+			}
+			if len(uniq) <= 4 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return cuts
+}
+
+// candidate is the best rewriting found for a node.
+type candidate struct {
+	leaves []int32
+	tt     uint16 // cut function (padded to 4 vars), for revalidation
+	prog   core.Program
+	mapped [4]aig.Lit
+	outNeg bool
+	gain   int
+}
+
+// evaluateNode finds the best library-based rewriting of node n on the
+// current graph. Requires live fanout counts on a. Returns ok=false when no
+// cut yields acceptable gain.
+func evaluateNode(a *aig.AIG, n int32, opts Options) (candidate, bool, int64) {
+	var best candidate
+	found := false
+	cuts := enumLocalCuts(a, n, opts.MaxCutsPerNode)
+	// Cut enumeration explores roughly a handful of expansions per kept cut.
+	ops := int64(1 + 20*len(cuts))
+	for _, leaves := range cuts {
+		tt16, ok := cut.ConeTruth16(a, aig.MakeLit(n, false), leaves)
+		if !ok {
+			continue
+		}
+		ops += int64(30 + 4*len(leaves))
+		padded := pad16(tt16, len(leaves))
+		canon, tr := canonize(padded)
+		prog, _ := opts.Library.Best(canon)
+		mapped, outNeg := mapLeaves(leaves, tr)
+		mffcMembers := core.MffcMembers(a, n, leaves)
+		gain := len(mffcMembers) - core.DryRunCost(a, progWithOutput(prog, outNeg), mapped[:], mffcMembers)
+		ops += int64(2*len(prog.Ops) + len(mffcMembers))
+		if !found || gain > best.gain {
+			best = candidate{
+				leaves: leaves,
+				tt:     padded,
+				prog:   progWithOutput(prog, outNeg),
+				mapped: mapped,
+				outNeg: outNeg,
+				gain:   gain,
+			}
+			found = true
+		}
+	}
+	if !found {
+		return candidate{}, false, ops
+	}
+	if best.gain < 0 || (best.gain == 0 && !opts.ZeroGain) {
+		return candidate{}, false, ops
+	}
+	return best, true, ops
+}
+
+// progWithOutput folds the output complement into the program root.
+func progWithOutput(p core.Program, neg bool) core.Program {
+	if !neg {
+		return p
+	}
+	return core.Program{Ops: p.Ops, Root: p.Root.Not()}
+}
+
+// pad16 replicates the meaningful low bits of a k-variable table (k <= 4)
+// across the full 16-bit 4-variable representation.
+func pad16(w uint16, k int) uint16 {
+	switch k {
+	case 0:
+		w &= 1
+		w |= w << 1
+		fallthrough
+	case 1:
+		w &= 3
+		w |= w << 2
+		fallthrough
+	case 2:
+		w &= 0xF
+		w |= w << 4
+		fallthrough
+	case 3:
+		w &= 0xFF
+		w |= w << 8
+	}
+	return w
+}
+
+// applyCandidate validates cand against the current graph and applies it in
+// place. Returns whether the node was rewritten.
+func applyCandidate(work *aig.AIG, n int32, cand candidate, opts Options, revalidate bool) bool {
+	if work.IsDeleted(n) {
+		return false
+	}
+	for _, l := range cand.leaves {
+		if work.IsDeleted(l) {
+			return false
+		}
+	}
+	if revalidate {
+		// The graph may have changed since evaluation: check the cut still
+		// bounds the cone and computes the same function, and recompute the
+		// gain (the on-the-fly re-evaluation of [9]).
+		tt16, ok := cut.ConeTruth16(work, aig.MakeLit(n, false), cand.leaves)
+		if !ok || pad16(tt16, len(cand.leaves)) != cand.tt {
+			return false
+		}
+		mffcMembers := core.MffcMembers(work, n, cand.leaves)
+		gain := len(mffcMembers) - core.DryRunCost(work, cand.prog, cand.mapped[:], mffcMembers)
+		if gain < 0 || (gain == 0 && !opts.ZeroGain) {
+			return false
+		}
+	}
+	newRoot, ok := core.BuildProgramAvoiding(work, cand.prog, cand.mapped[:], n)
+	if !ok || newRoot.Var() == n {
+		return false
+	}
+	work.ReplaceNode(n, newRoot)
+	return true
+}
+
+// Sequential runs one pass of ABC-style DAG-aware rewriting (drw; drw -z
+// with ZeroGain).
+func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
+	opts = opts.normalized()
+	st := Stats{NodesBefore: a.NumAnds()}
+	work := a.Rehash()
+	work.EnableStrash()
+	work.EnableFanouts()
+	lastOriginal := int32(work.NumObjs())
+	for id := int32(work.NumPIs() + 1); id < lastOriginal; id++ {
+		if work.IsDeleted(id) {
+			continue
+		}
+		st.NodesConsidered++
+		cand, ok, _ := evaluateNode(work, id, opts)
+		if !ok {
+			continue
+		}
+		if applyCandidate(work, id, cand, opts, false) {
+			st.NodesRewritten++
+		}
+	}
+	out, _ := work.Compact()
+	st.NodesAfter = out.NumAnds()
+	return out, st
+}
+
+// Parallel runs one pass of GPU rewriting in the style of [9]: the cut
+// evaluation of all nodes runs as a device kernel; the replacement step is
+// sequential on the host (accounted as sequential time — the Table I
+// baseline) with on-the-fly re-evaluation; duplicates left behind are
+// handled by the caller's dedup pass (Section III-F).
+func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
+	opts = opts.normalized()
+	st := Stats{NodesBefore: a.NumAnds()}
+	work := a.Rehash()
+	work.EnableStrash()
+	work.EnableFanouts()
+
+	// Parallel evaluation kernel: one thread per AND node.
+	n := work.NumObjs()
+	nodes := make([]int32, 0, work.NumAnds())
+	work.ForEachAnd(func(id int32) { nodes = append(nodes, id) })
+	cands := make([]candidate, len(nodes))
+	oks := make([]bool, len(nodes))
+	d.Launch("rewrite/evaluate", len(nodes), func(tid int) int64 {
+		cand, ok, ops := evaluateNode(work, nodes[tid], opts)
+		cands[tid] = cand
+		oks[tid] = ok
+		return ops
+	})
+	st.NodesConsidered = len(nodes)
+	_ = n
+
+	// Sequential replacement with re-evaluation (the data-race-avoiding
+	// step of [9]); accounted as host-sequential time.
+	var seqOps int64
+	for i, id := range nodes {
+		seqOps += 2
+		if !oks[i] {
+			continue
+		}
+		// Re-evaluation (cone truth, MFFC, dry run) plus the replacement
+		// itself are host-sequential work in [9].
+		seqOps += int64(40 + 3*len(cands[i].prog.Ops))
+		if applyCandidate(work, id, cands[i], opts, true) {
+			st.NodesRewritten++
+			seqOps += int64(2*len(cands[i].prog.Ops) + 16)
+		}
+	}
+	d.AddOverhead(seqOps)
+
+	out, _ := work.Compact()
+	st.NodesAfter = out.NumAnds()
+	return out, st
+}

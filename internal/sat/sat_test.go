@@ -1,0 +1,214 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if s.Solve() != Sat {
+		t.Fatal("single unit must be sat")
+	}
+	if !s.Value(a) {
+		t.Errorf("model wrong")
+	}
+}
+
+func TestUnitConflict(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	ok1 := s.AddClause(MkLit(a, false))
+	ok2 := s.AddClause(MkLit(a, true))
+	if ok1 && ok2 && s.Solve() != Unsat {
+		t.Fatal("x & !x must be unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("empty clause must report unsat")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("solver must stay unsat")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	vars := make([]int, 10)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// x0 & (x_i -> x_{i+1}) & !x9 is unsat.
+	s.AddClause(MkLit(vars[0], false))
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	s.AddClause(MkLit(vars[9], true))
+	if s.Solve() != Unsat {
+		t.Fatal("implication chain must be unsat")
+	}
+}
+
+func TestXorChainSat(t *testing.T) {
+	s := New()
+	n := 8
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Tseitin XOR pairs: x_i ^ x_{i+1} = 1.
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], false), MkLit(vars[i+1], false))
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], true))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("xor chain must be sat")
+	}
+	for i := 0; i+1 < n; i++ {
+		if s.Value(vars[i]) == s.Value(vars[i+1]) {
+			t.Fatalf("model violates xor at %d", i)
+		}
+	}
+}
+
+// pigeonhole encodes n+1 pigeons into n holes (unsat).
+func pigeonhole(n int) *Solver {
+	s := New()
+	v := make([][]int, n+1)
+	for p := 0; p <= n; p++ {
+		v[p] = make([]int, n)
+		for h := 0; h < n; h++ {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonhole(n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("php(%d) = %v, want Unsat", n, got)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := pigeonhole(8)
+	s.ConflictBudget = 10
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budget-limited solve = %v, want Unknown", got)
+	}
+}
+
+// bruteForce checks satisfiability of a CNF over <= 16 vars by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 != 0
+				if val != l.IsNeg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickRandom3SATMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(6)
+		nClauses := 3 + rng.Intn(30)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, 0, k)
+			for j := 0; j < k; j++ {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, cnf)
+		if want {
+			if got != Sat {
+				return false
+			}
+			// Verify the model satisfies every clause.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.IsNeg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+			return true
+		}
+		return got == Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a | b
+	if s.SolveAssuming([]Lit{MkLit(a, true)}) != Sat {
+		t.Fatal("assuming !a should be sat (b true)")
+	}
+	if !s.Value(b) {
+		t.Errorf("b must be true under !a")
+	}
+	if s.SolveAssuming([]Lit{MkLit(a, true), MkLit(b, true)}) != Unsat {
+		t.Errorf("assuming !a & !b must be unsat")
+	}
+	// Solver must remain reusable.
+	if s.Solve() != Sat {
+		t.Errorf("solver not reusable after assumptions")
+	}
+}

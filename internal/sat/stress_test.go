@@ -1,0 +1,40 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStressRandomCNF(t *testing.T) {
+	for seed := int64(0); seed < 3000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 6 + rng.Intn(9)
+		nClauses := 10 + rng.Intn(60)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(4)
+			cl := make([]Lit, 0, k)
+			for j := 0; j < k; j++ {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+			if !s.AddClause(cl...) {
+				okAdd = false
+			}
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, cnf)
+		_ = okAdd
+		if want && got != Sat {
+			t.Fatalf("seed %d: solver says %v, brute force says SAT", seed, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("seed %d: solver says %v, brute force says UNSAT", seed, got)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package truth
+
+import "fmt"
+
+// Cube is a product term over up to MaxVars variables: bit v of Pos (Neg)
+// set means the positive (negative) literal of variable v appears.
+type Cube struct {
+	Pos, Neg uint16
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for m := c.Pos; m != 0; m &= m - 1 {
+		n++
+	}
+	for m := c.Neg; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// HasLit reports whether the cube contains the literal of variable v with
+// the given phase (true = positive).
+func (c Cube) HasLit(v int, positive bool) bool {
+	if positive {
+		return c.Pos>>uint(v)&1 != 0
+	}
+	return c.Neg>>uint(v)&1 != 0
+}
+
+// WithLit returns the cube extended by a literal.
+func (c Cube) WithLit(v int, positive bool) Cube {
+	if positive {
+		c.Pos |= 1 << uint(v)
+	} else {
+		c.Neg |= 1 << uint(v)
+	}
+	return c
+}
+
+func (c Cube) String() string {
+	s := ""
+	for v := 0; v < MaxVars; v++ {
+		if c.HasLit(v, true) {
+			s += fmt.Sprintf("x%d ", v)
+		}
+		if c.HasLit(v, false) {
+			s += fmt.Sprintf("!x%d ", v)
+		}
+	}
+	if s == "" {
+		return "<1>"
+	}
+	return s[:len(s)-1]
+}
+
+// SOP is a sum of products.
+type SOP struct {
+	NVars int
+	Cubes []Cube
+}
+
+// NumLits returns the total literal count (the classic SOP cost measure).
+func (s SOP) NumLits() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// IsConst0 reports whether the SOP is the empty sum.
+func (s SOP) IsConst0() bool { return len(s.Cubes) == 0 }
+
+// IsConst1 reports whether the SOP is a single empty cube.
+func (s SOP) IsConst1() bool {
+	return len(s.Cubes) == 1 && s.Cubes[0] == Cube{}
+}
+
+// TT evaluates the SOP into a truth table (for verification).
+func (s SOP) TT() TT {
+	res := New(s.NVars)
+	tmp := New(s.NVars)
+	for _, c := range s.Cubes {
+		for i := range tmp.Words {
+			tmp.Words[i] = ^uint64(0)
+		}
+		for v := 0; v < s.NVars; v++ {
+			if c.HasLit(v, true) {
+				tmp.And(tmp, Var(s.NVars, v))
+			}
+			if c.HasLit(v, false) {
+				tmp.AndNot(tmp, Var(s.NVars, v))
+			}
+		}
+		res.Or(res, tmp)
+	}
+	return res
+}
+
+// isopArena recycles truth-table word buffers across the ISOP recursion,
+// which otherwise dominates refactoring runtime with allocations.
+type isopArena struct {
+	n     int
+	words int
+	free  []TT
+	vars  []TT // cached Var tables
+	calls int  // recursion count, for work estimation
+}
+
+func newIsopArena(n int) *isopArena {
+	a := &isopArena{n: n, words: WordCount(n)}
+	a.vars = make([]TT, n)
+	for v := 0; v < n; v++ {
+		a.vars[v] = Var(n, v)
+	}
+	return a
+}
+
+func (a *isopArena) get() TT {
+	if k := len(a.free); k > 0 {
+		t := a.free[k-1]
+		a.free = a.free[:k-1]
+		return t
+	}
+	return New(a.n)
+}
+
+func (a *isopArena) put(ts ...TT) {
+	a.free = append(a.free, ts...)
+}
+
+// dependsOn checks variable dependence without allocating.
+func dependsOn(t TT, v int) bool {
+	if v < 6 {
+		mask := varMasks[v]
+		shift := uint(1) << v
+		for _, w := range t.Words {
+			if (w&mask)>>shift != w&^mask {
+				return true
+			}
+		}
+		return false
+	}
+	step := 1 << (v - 6)
+	for i := 0; i < len(t.Words); i += 2 * step {
+		for j := 0; j < step; j++ {
+			if t.Words[i+j] != t.Words[i+j+step] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ISOP computes an irredundant sum-of-products of the incompletely
+// specified function [onset, onset|dc] using the Minato-Morreale procedure.
+// With dc = nil the function is completely specified. The returned SOP
+// covers at least the onset and nothing outside onset|dc, and no cube or
+// literal can be dropped without losing coverage.
+func ISOP(onset TT, dc TT) SOP {
+	s, _ := ISOPCount(onset, dc)
+	return s
+}
+
+// ISOPCount is ISOP returning additionally an elementary-operation estimate
+// (recursive calls times table size), used for device-time accounting.
+func ISOPCount(onset TT, dc TT) (SOP, int64) {
+	n := onset.NVars
+	ar := newIsopArena(n)
+	lower := ar.get().Copy(onset)
+	upper := ar.get().Copy(onset)
+	if dc.Words != nil {
+		upper.Or(upper, dc)
+	}
+	cubes, cover := isopRec(ar, lower, upper, n)
+	ar.put(lower, upper, cover)
+	return SOP{NVars: n, Cubes: cubes}, int64(ar.calls) * int64(12*ar.words)
+}
+
+// isopRec returns cubes covering [L, U] plus the truth table of the cover.
+// L and U are owned by the caller; the returned cover is arena-allocated
+// and owned by the caller.
+func isopRec(ar *isopArena, L, U TT, topVar int) ([]Cube, TT) {
+	ar.calls++
+	if L.IsConst0() {
+		cov := ar.get()
+		for i := range cov.Words {
+			cov.Words[i] = 0
+		}
+		return nil, cov
+	}
+	if U.IsConst1() {
+		cov := ar.get()
+		for i := range cov.Words {
+			cov.Words[i] = ^uint64(0)
+		}
+		return []Cube{{}}, cov
+	}
+	// Find the top variable either bound depends on.
+	v := topVar - 1
+	for v >= 0 && !dependsOn(L, v) && !dependsOn(U, v) {
+		v--
+	}
+	if v < 0 {
+		// L nonzero and U not tautology with no support left cannot happen
+		// for consistent bounds (L <= U).
+		panic("truth: ISOP invariant violated (is onset <= upperset?)")
+	}
+	L0 := ar.get().Cofactor0(L, v)
+	L1 := ar.get().Cofactor1(L, v)
+	U0 := ar.get().Cofactor0(U, v)
+	U1 := ar.get().Cofactor1(U, v)
+
+	// Cubes that must contain !v: needed where the function must be 1 with
+	// v=0 but may not be 1 with v=1.
+	t0 := ar.get().AndNot(L0, U1)
+	c0, cov0 := isopRec(ar, t0, U0, v)
+	// Cubes that must contain v.
+	t1 := ar.get().AndNot(L1, U0)
+	c1, cov1 := isopRec(ar, t1, U1, v)
+	// Remaining onset, coverable without v.
+	Lstar := t0.AndNot(L0, cov0) // reuse t0
+	tmp := t1.AndNot(L1, cov1)   // reuse t1
+	Lstar.Or(Lstar, tmp)
+	Ustar := tmp.And(U0, U1)
+	cs, covs := isopRec(ar, Lstar, Ustar, v)
+
+	cubes := make([]Cube, 0, len(c0)+len(c1)+len(cs))
+	for _, c := range c0 {
+		cubes = append(cubes, c.WithLit(v, false))
+	}
+	for _, c := range c1 {
+		cubes = append(cubes, c.WithLit(v, true))
+	}
+	cubes = append(cubes, cs...)
+
+	// cover = cov0&!v | cov1&v | covs
+	vt := ar.vars[v]
+	cover := cov0.AndNot(cov0, vt) // reuse cov0 as the result
+	tmp2 := cov1.And(cov1, vt)
+	cover.Or(cover, tmp2)
+	cover.Or(cover, covs)
+	ar.put(L0, L1, U0, U1, t0, t1, cov1, covs)
+	return cubes, cover
+}
+
+// MinPhaseISOP computes ISOPs of both the function and its complement and
+// returns the cheaper one (by cube count, then literal count) together with
+// a flag telling whether the complement was chosen. ABC's refactoring does
+// the same to reduce the factored-form size.
+func MinPhaseISOP(onset TT) (SOP, bool) {
+	s, compl, _ := MinPhaseISOPCount(onset)
+	return s, compl
+}
+
+// MinPhaseISOPCount is MinPhaseISOP with an operation estimate.
+func MinPhaseISOPCount(onset TT) (SOP, bool, int64) {
+	pos, opsP := ISOPCount(onset, TT{})
+	neg, opsN := ISOPCount(New(onset.NVars).Not(onset), TT{})
+	if len(neg.Cubes) < len(pos.Cubes) ||
+		(len(neg.Cubes) == len(pos.Cubes) && neg.NumLits() < pos.NumLits()) {
+		return neg, true, opsP + opsN
+	}
+	return pos, false, opsP + opsN
+}

@@ -1,0 +1,117 @@
+package truth
+
+// NPN canonization of 4-variable functions represented as 16-bit truth
+// tables. Rewriting classifies every 4-feasible cut function into one of the
+// 222 NPN classes so that one optimized subgraph per class can be reused.
+
+// Npn4Transform describes how a function was mapped to its canonical
+// representative: apply the permutation, complement the inputs in InputNeg,
+// and complement the output if OutputNeg. Perm[i] gives, for canonical
+// input position i, the original variable feeding it.
+type Npn4Transform struct {
+	Perm      [4]uint8
+	InputNeg  uint8 // bit i: original variable i complemented
+	OutputNeg bool
+}
+
+var perms4 = [24][4]uint8{}
+
+func init() {
+	i := 0
+	var rec func(cur []uint8, rest []uint8)
+	rec = func(cur []uint8, rest []uint8) {
+		if len(rest) == 0 {
+			copy(perms4[i][:], cur)
+			i++
+			return
+		}
+		for j := range rest {
+			nr := append(append([]uint8{}, rest[:j]...), rest[j+1:]...)
+			rec(append(cur, rest[j]), nr)
+		}
+	}
+	rec(nil, []uint8{0, 1, 2, 3})
+}
+
+// npn4FlipVar complements variable v of a 16-bit truth table.
+func npn4FlipVar(tt uint16, v int) uint16 {
+	switch v {
+	case 0:
+		return (tt&0xAAAA)>>1 | (tt&0x5555)<<1
+	case 1:
+		return (tt&0xCCCC)>>2 | (tt&0x3333)<<2
+	case 2:
+		return (tt&0xF0F0)>>4 | (tt&0x0F0F)<<4
+	default:
+		return tt>>8 | tt<<8
+	}
+}
+
+// npn4Permute applies a variable permutation: output variable i reads
+// original variable perm[i].
+func npn4Permute(tt uint16, perm [4]uint8) uint16 {
+	var out uint16
+	for m := 0; m < 16; m++ {
+		// minterm bit i of new order corresponds to original minterm with
+		// bit perm[i] set when bit i of m is set.
+		orig := 0
+		for i := 0; i < 4; i++ {
+			if m>>uint(i)&1 != 0 {
+				orig |= 1 << uint(perm[i])
+			}
+		}
+		if tt>>uint(orig)&1 != 0 {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// Npn4Canon returns the canonical NPN representative of tt (the numerically
+// smallest table over all 768 NPN transforms) and the transform that maps
+// the original function onto the canonical one.
+func Npn4Canon(tt uint16) (uint16, Npn4Transform) {
+	best := uint16(0xFFFF)
+	var bestTr Npn4Transform
+	first := true
+	for _, perm := range perms4 {
+		for neg := 0; neg < 16; neg++ {
+			cur := tt
+			for v := 0; v < 4; v++ {
+				if neg>>uint(v)&1 != 0 {
+					cur = npn4FlipVar(cur, v)
+				}
+			}
+			cur = npn4Permute(cur, perm)
+			for _, oneg := range [2]bool{false, true} {
+				cand := cur
+				if oneg {
+					cand = ^cur
+				}
+				if first || cand < best {
+					best = cand
+					bestTr = Npn4Transform{Perm: perm, InputNeg: uint8(neg), OutputNeg: oneg}
+					first = false
+				}
+			}
+		}
+	}
+	return best, bestTr
+}
+
+// Npn4Apply applies a transform to tt, mapping the original function to the
+// canonical domain. Npn4Apply(tt, tr) == canonical when tr was returned by
+// Npn4Canon(tt).
+func Npn4Apply(tt uint16, tr Npn4Transform) uint16 {
+	cur := tt
+	for v := 0; v < 4; v++ {
+		if tr.InputNeg>>uint(v)&1 != 0 {
+			cur = npn4FlipVar(cur, v)
+		}
+	}
+	cur = npn4Permute(cur, tr.Perm)
+	if tr.OutputNeg {
+		cur = ^cur
+	}
+	return cur
+}
