@@ -1,0 +1,16 @@
+.PHONY: check build test race bench
+
+check: ## tier-1: build + vet + race-detector test suite
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

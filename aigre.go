@@ -69,10 +69,12 @@ type Options struct {
 	// setting).
 	MaxCut int
 	// ZeroGain accepts zero-gain replacements in the sequential engines
-	// (parallel engines always accept them; Section III-D).
+	// (parallel engines always accept them; Section III-D). In script runs
+	// it makes the sequential rw/rf commands behave like rwz/rfz.
 	ZeroGain bool
 	// Passes repeats the algorithm (the paper evaluates parallel
-	// refactoring with 2 passes in Table II). Default 1.
+	// refactoring with 2 passes in Table II). In script runs it sets the
+	// parallel refactoring passes per rf/rfz command. Default 1.
 	Passes int
 	// RwzPasses is the number of parallel rewriting passes per rwz command
 	// inside sequences (the paper's GPU resyn2 uses 2). Default 2 for
@@ -90,6 +92,10 @@ type Result struct {
 	Modeled time.Duration
 	// Timings is the per-command breakdown for sequence runs.
 	Timings []flow.CommandTiming
+	// Profile is the per-kernel device profile of a parallel run (nil for
+	// sequential runs). The modeled times of its rows sum to Modeled
+	// exactly; see gpu.FormatProfile for a printable table.
+	Profile []gpu.KernelProfile
 }
 
 // New returns an empty network with the given number of primary inputs.
@@ -208,10 +214,12 @@ func (n *Network) Balance(opts Options) (Result, error) {
 	start := time.Now()
 	var out *aig.AIG
 	var modeled time.Duration
+	var profile []gpu.KernelProfile
 	if opts.Parallel {
 		d := opts.device()
 		out, _ = balance.Parallel(d, n.aig)
 		modeled = d.Stats().ModeledTime
+		profile = d.Profile()
 	} else {
 		out, _ = balance.Sequential(n.aig)
 	}
@@ -219,7 +227,7 @@ func (n *Network) Balance(opts Options) (Result, error) {
 	if !opts.Parallel {
 		modeled = wall
 	}
-	return Result{AIG: &Network{aig: out}, Wall: wall, Modeled: modeled}, nil
+	return Result{AIG: &Network{aig: out}, Wall: wall, Modeled: modeled, Profile: profile}, nil
 }
 
 // Refactor runs refactoring (Section III). In parallel mode the cleanup
@@ -228,6 +236,7 @@ func (n *Network) Refactor(opts Options) (Result, error) {
 	start := time.Now()
 	cur := n.aig
 	var modeled time.Duration
+	var profile []gpu.KernelProfile
 	if opts.Parallel {
 		d := opts.device()
 		for p := 0; p < opts.passes(); p++ {
@@ -235,6 +244,7 @@ func (n *Network) Refactor(opts Options) (Result, error) {
 		}
 		cur, _ = dedup.Run(d, cur)
 		modeled = d.Stats().ModeledTime
+		profile = d.Profile()
 	} else {
 		for p := 0; p < opts.passes(); p++ {
 			cur, _ = refactor.Sequential(cur, refactor.Options{MaxCut: opts.MaxCut, ZeroGain: opts.ZeroGain})
@@ -244,7 +254,7 @@ func (n *Network) Refactor(opts Options) (Result, error) {
 	if !opts.Parallel {
 		modeled = wall
 	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled}, nil
+	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
 }
 
 // Rewrite runs rewriting. In parallel mode this follows [9] (parallel
@@ -253,6 +263,7 @@ func (n *Network) Rewrite(opts Options) (Result, error) {
 	start := time.Now()
 	cur := n.aig
 	var modeled time.Duration
+	var profile []gpu.KernelProfile
 	if opts.Parallel {
 		d := opts.device()
 		for p := 0; p < opts.passes(); p++ {
@@ -260,6 +271,7 @@ func (n *Network) Rewrite(opts Options) (Result, error) {
 		}
 		cur, _ = dedup.Run(d, cur)
 		modeled = d.Stats().ModeledTime
+		profile = d.Profile()
 	} else {
 		for p := 0; p < opts.passes(); p++ {
 			cur, _ = rewrite.Sequential(cur, rewrite.Options{ZeroGain: opts.ZeroGain})
@@ -269,7 +281,7 @@ func (n *Network) Rewrite(opts Options) (Result, error) {
 	if !opts.Parallel {
 		modeled = wall
 	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled}, nil
+	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
 }
 
 // Resub runs resubstitution (the paper's future-work algorithm): nodes are
@@ -279,6 +291,7 @@ func (n *Network) Resub(opts Options) (Result, error) {
 	start := time.Now()
 	cur := n.aig
 	var modeled time.Duration
+	var profile []gpu.KernelProfile
 	if opts.Parallel {
 		d := opts.device()
 		for p := 0; p < opts.passes(); p++ {
@@ -286,6 +299,7 @@ func (n *Network) Resub(opts Options) (Result, error) {
 		}
 		cur, _ = dedup.Run(d, cur)
 		modeled = d.Stats().ModeledTime
+		profile = d.Profile()
 	} else {
 		for p := 0; p < opts.passes(); p++ {
 			cur, _ = resub.Sequential(cur, resub.Options{})
@@ -295,7 +309,7 @@ func (n *Network) Resub(opts Options) (Result, error) {
 	if !opts.Parallel {
 		modeled = wall
 	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled}, nil
+	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
 }
 
 // Dedup runs the de-duplication and dangling-node cleanup pass alone.
@@ -303,7 +317,8 @@ func (n *Network) Dedup(opts Options) (Result, error) {
 	start := time.Now()
 	d := opts.device()
 	out, _ := dedup.Run(d, n.aig)
-	return Result{AIG: &Network{aig: out}, Wall: time.Since(start), Modeled: d.Stats().ModeledTime}, nil
+	return Result{AIG: &Network{aig: out}, Wall: time.Since(start),
+		Modeled: d.Stats().ModeledTime, Profile: d.Profile()}, nil
 }
 
 // Run executes a command script such as "b; rw; rfz" (see package flow for
@@ -313,6 +328,8 @@ func (n *Network) Run(script string, opts Options) (Result, error) {
 		Parallel:  opts.Parallel,
 		MaxCut:    opts.MaxCut,
 		RwzPasses: opts.RwzPasses,
+		RfPasses:  opts.Passes,
+		ZeroGain:  opts.ZeroGain,
 	}
 	if opts.Parallel {
 		cfg.Device = opts.device()
@@ -322,12 +339,16 @@ func (n *Network) Run(script string, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	out := Result{
 		AIG:     &Network{aig: res.AIG},
 		Wall:    time.Since(start),
 		Modeled: res.TotalModeled,
 		Timings: res.Timings,
-	}, nil
+	}
+	if cfg.Device != nil {
+		out.Profile = cfg.Device.Profile()
+	}
+	return out, nil
 }
 
 // Resyn2 runs the resyn2 sequence (b; rw; rf; b; rw; rwz; b; rfz; rwz; b).

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aigre"
 	"aigre/internal/flow"
+	"aigre/internal/gpu"
 )
 
 func main() {
@@ -28,6 +31,10 @@ func main() {
 		parallel = flag.Bool("parallel", false, "use the parallel (GPU-model) algorithms")
 		workers  = flag.Int("workers", 0, "worker goroutines for the simulated device (0 = GOMAXPROCS)")
 		maxCut   = flag.Int("maxcut", 12, "refactoring cut-size limit")
+		passes   = flag.Int("passes", 0, "parallel refactoring passes per rf/rfz command (0 = 1)")
+		zeroGain = flag.Bool("zerogain", false, "sequential rw/rf accept zero-gain replacements (like rwz/rfz)")
+		profile  = flag.Bool("profile", false, "print the per-kernel device profile (parallel mode)")
+		profJSON = flag.String("profile-json", "", "write the profile report as JSON to this file (\"-\" = stdout)")
 		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
 		cecWith  = flag.String("cec-with", "", "check equivalence of -in against this AIGER file and exit")
 		verbose  = flag.Bool("v", false, "print per-command statistics")
@@ -38,21 +45,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "aigre: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *passes < 0 {
+		fmt.Fprintf(os.Stderr, "aigre: -passes must be >= 0 (got %d)\n", *passes)
+		os.Exit(2)
+	}
+	// With -profile-json - the JSON report owns stdout; status lines move to
+	// stderr so the output stays pipeable into jq and friends.
+	msg := os.Stdout
+	if *profJSON == "-" {
+		msg = os.Stderr
+	}
 	n, err := aigre.ReadFile(*in)
 	fatal(err)
-	fmt.Println("input:  ", n.Stats())
+	fmt.Fprintln(msg, "input:  ", n.Stats())
 
 	if *cecWith != "" {
 		other, err := aigre.ReadFile(*cecWith)
 		fatal(err)
-		fmt.Println("other:  ", other.Stats())
+		fmt.Fprintln(msg, "other:  ", other.Stats())
 		eq, err := n.EquivalentTo(other)
 		fatal(err)
 		if !eq {
-			fmt.Println("cec:     NOT equivalent")
+			fmt.Fprintln(msg, "cec:     NOT equivalent")
 			os.Exit(1)
 		}
-		fmt.Println("cec:     equivalent")
+		fmt.Fprintln(msg, "cec:     equivalent")
 		return
 	}
 
@@ -67,7 +88,13 @@ func main() {
 	}
 	cur := n
 	if s != "" {
-		opts := aigre.Options{Parallel: *parallel, Workers: *workers, MaxCut: *maxCut}
+		opts := aigre.Options{
+			Parallel: *parallel,
+			Workers:  *workers,
+			MaxCut:   *maxCut,
+			Passes:   *passes,
+			ZeroGain: *zeroGain,
+		}
 		if *resyn2 {
 			opts.RwzPasses = 2
 		}
@@ -76,7 +103,7 @@ func main() {
 		cur = res.AIG
 		if *verbose {
 			for _, t := range res.Timings {
-				fmt.Printf("  %-4s wall=%-12v modeled=%-12v dedup=%-12v and=%d lev=%d\n",
+				fmt.Fprintf(msg, "  %-4s wall=%-12v modeled=%-12v dedup=%-12v and=%d lev=%d\n",
 					t.Command, t.Wall, t.Modeled, t.DedupModeled, t.NodesAfter, t.LevelsAfter)
 			}
 		}
@@ -84,8 +111,19 @@ func main() {
 		if *parallel {
 			mode = "parallel"
 		}
-		fmt.Printf("script: %q (%s)  wall=%v modeled=%v\n", s, mode, res.Wall, res.Modeled)
-		fmt.Println("output: ", cur.Stats())
+		fmt.Fprintf(msg, "script: %q (%s)  wall=%v modeled=%v\n", s, mode, res.Wall, res.Modeled)
+		fmt.Fprintln(msg, "output: ", cur.Stats())
+		if *profile {
+			if res.Profile == nil {
+				fmt.Fprintln(msg, "profile: (no device profile; run with -parallel)")
+			} else {
+				fmt.Fprintln(msg, "\nper-kernel device profile:")
+				fmt.Fprint(msg, gpu.FormatProfile(res.Profile))
+			}
+		}
+		if *profJSON != "" {
+			fatal(writeProfileJSON(*profJSON, s, mode, res))
+		}
 	}
 	if *cecFlag && s != "" {
 		eq, err := cur.EquivalentTo(n)
@@ -94,12 +132,63 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aigre: EQUIVALENCE CHECK FAILED")
 			os.Exit(1)
 		}
-		fmt.Println("cec:     equivalent")
+		fmt.Fprintln(msg, "cec:     equivalent")
 	}
 	if *out != "" {
 		fatal(cur.WriteFile(*out))
-		fmt.Println("wrote:  ", *out)
+		fmt.Fprintln(msg, "wrote:  ", *out)
 	}
+}
+
+// profileReport is the JSON schema of -profile-json.
+type profileReport struct {
+	Script    string              `json:"script"`
+	Mode      string              `json:"mode"`
+	WallNS    time.Duration       `json:"wall_ns"`
+	ModeledNS time.Duration       `json:"modeled_ns"`
+	Kernels   []gpu.KernelProfile `json:"kernels"`
+	Commands  []commandReport     `json:"commands"`
+}
+
+type commandReport struct {
+	Command   string              `json:"command"`
+	WallNS    time.Duration       `json:"wall_ns"`
+	ModeledNS time.Duration       `json:"modeled_ns"`
+	DedupNS   time.Duration       `json:"dedup_modeled_ns"`
+	Nodes     int                 `json:"nodes_after"`
+	Levels    int                 `json:"levels_after"`
+	Kernels   []gpu.KernelProfile `json:"kernels,omitempty"`
+}
+
+func writeProfileJSON(path, script, mode string, res aigre.Result) error {
+	rep := profileReport{
+		Script:    script,
+		Mode:      mode,
+		WallNS:    res.Wall,
+		ModeledNS: res.Modeled,
+		Kernels:   res.Profile,
+	}
+	for _, t := range res.Timings {
+		rep.Commands = append(rep.Commands, commandReport{
+			Command:   t.Command,
+			WallNS:    t.Wall + t.DedupWall,
+			ModeledNS: t.Modeled,
+			DedupNS:   t.DedupModeled,
+			Nodes:     t.NodesAfter,
+			Levels:    t.LevelsAfter,
+			Kernels:   t.Kernels,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

@@ -72,6 +72,10 @@ func runParScript(a *aig.AIG, script string, rwzPasses, rfPasses int) (*aig.AIG,
 	if err != nil {
 		panic(err)
 	}
+	if *profileFlag {
+		fmt.Printf("  per-kernel device profile (%s, %d workers):\n", a.Name, d.Workers())
+		fmt.Print(gpu.FormatProfile(d.Profile()))
+	}
 	return res.AIG, time.Since(start), d.Stats().ModeledTime, res.Timings
 }
 

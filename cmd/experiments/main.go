@@ -28,6 +28,7 @@ var (
 	cecFlag     = flag.Bool("cec", false, "equivalence-check every optimized AIG against its input")
 	quickFlag   = flag.Bool("quick", false, "run on a 5-benchmark subset")
 	csvFlag     = flag.String("csv", "", "write figure-7 data points to this CSV file")
+	profileFlag = flag.Bool("profile", false, "print the per-kernel device profile after each parallel script run")
 )
 
 func main() {

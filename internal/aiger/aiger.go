@@ -170,10 +170,7 @@ func readDelta(br *bufio.Reader) (uint64, error) {
 // topological id order with no deleted nodes; call Compact first if in-place
 // editing was used.
 func WriteASCII(w io.Writer, a *aig.AIG) error {
-	a, lits, err := canonical(a)
-	if err != nil {
-		return err
-	}
+	a = canonical(a)
 	bw := bufio.NewWriterSize(w, 1<<20)
 	in, ands := a.NumPIs(), a.NumAnds()
 	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", in+ands, in, a.NumPOs(), ands)
@@ -187,16 +184,12 @@ func WriteASCII(w io.Writer, a *aig.AIG) error {
 		id := int32(in + 1 + i)
 		fmt.Fprintf(bw, "%d %d %d\n", 2*int(id), uint32(a.Fanin0(id)), uint32(a.Fanin1(id)))
 	}
-	_ = lits
 	return bw.Flush()
 }
 
 // WriteBinary writes the AIG in the binary "aig" format.
 func WriteBinary(w io.Writer, a *aig.AIG) error {
-	a, _, err := canonical(a)
-	if err != nil {
-		return err
-	}
+	a = canonical(a)
 	bw := bufio.NewWriterSize(w, 1<<20)
 	in, ands := a.NumPIs(), a.NumAnds()
 	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", in+ands, in, a.NumPOs(), ands)
@@ -233,7 +226,7 @@ func writeDelta(bw *bufio.Writer, d uint64) error {
 // canonical returns an AIG suitable for writing: topological id order, no
 // deleted nodes. When the input already satisfies this, it is returned
 // as-is; otherwise a compacted copy is produced.
-func canonical(a *aig.AIG) (*aig.AIG, []aig.Lit, error) {
+func canonical(a *aig.AIG) *aig.AIG {
 	needCompact := false
 	if a.NumObjs() != a.NumPIs()+1+a.NumAnds() {
 		needCompact = true // deleted nodes present
@@ -246,8 +239,8 @@ func canonical(a *aig.AIG) (*aig.AIG, []aig.Lit, error) {
 		}
 	}
 	if !needCompact {
-		return a, nil, nil
+		return a
 	}
-	c, mp := a.Compact()
-	return c, mp, nil
+	c, _ := a.Compact()
+	return c
 }

@@ -66,7 +66,7 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 			isRoot[id] = true
 		}
 	})
-	roots := gpu.Compact(d, reach, boolsOf(isRoot, reach))
+	roots := gpu.Compact(d, "balance/roots", reach, boolsOf(isRoot, reach))
 
 	// Collapse step 3: gather the n-ary AND inputs of every subtree.
 	inputs := make([][]aig.Lit, len(roots))
@@ -117,7 +117,7 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 			counts[i] = int32(k - 1)
 		}
 	}
-	offsets, totalSlots := d.ExclusiveScan(counts)
+	offsets, totalSlots := d.ExclusiveScan("balance/slot-scan", counts)
 	out := aig.NewCap(a.NumPIs(), a.NumPIs()+1+int(totalSlots))
 	out.Name = a.Name
 	base := out.ExtendSlots(int(totalSlots))

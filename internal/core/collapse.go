@@ -40,7 +40,7 @@ func LevelWiseCollapse(d *gpu.Device, a *aig.AIG, traverse TraverseFunc) [][]int
 			frontier = append(frontier, v)
 		}
 	}
-	frontier = d.SortUniqueInt32(frontier)
+	frontier = d.SortUniqueInt32("collapse/frontier-sort", frontier)
 	var batches [][]int32
 	cuts := make([][]int32, 0)
 	for len(frontier) > 0 {
@@ -60,7 +60,7 @@ func LevelWiseCollapse(d *gpu.Device, a *aig.AIG, traverse TraverseFunc) [][]int
 		for i, c := range cuts {
 			counts[i] = int32(len(c))
 		}
-		offsets, total := d.ExclusiveScan(counts)
+		offsets, total := d.ExclusiveScan("collapse/cut-scan", counts)
 		gathered := make([]int32, total)
 		d.Launch1("collapse/gather", len(frontier), func(tid int) {
 			copy(gathered[offsets[tid]:], cuts[tid])
@@ -74,7 +74,7 @@ func LevelWiseCollapse(d *gpu.Device, a *aig.AIG, traverse TraverseFunc) [][]int
 				done[v] = true
 			}
 		}
-		frontier = d.SortUniqueInt32(next)
+		frontier = d.SortUniqueInt32("collapse/frontier-sort", next)
 	}
 	return batches
 }

@@ -63,7 +63,7 @@ func ApplyReplacements(d *gpu.Device, a *aig.AIG, reps []Replacement, sequential
 	for i := range reps {
 		counts[i] = int32(len(reps[i].Prog.Ops))
 	}
-	offsets, total := d.ExclusiveScan(counts)
+	offsets, total := d.ExclusiveScan("replace/slot-scan", counts)
 	firstNew := work.ExtendSlots(int(total))
 
 	// Phase 3: initialize the hash table with the kept nodes and the cut
@@ -200,7 +200,7 @@ func launch(d *gpu.Device, sequential bool, name string, n int, kernel func(tid 
 	for tid := 0; tid < n; tid++ {
 		ops += kernel(tid)
 	}
-	d.AddOverhead(ops)
+	d.AddOverhead(name+"/seq", ops)
 }
 
 // chaseRootMap resolves chains r -> lit(r') where r' is itself a replaced

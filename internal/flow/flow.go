@@ -56,6 +56,10 @@ type Config struct {
 	// SkipDedup disables the cleanup pass after parallel rw/rf (for
 	// ablation only).
 	SkipDedup bool
+	// ZeroGain makes the sequential rw and rf commands accept zero-gain
+	// replacements, as rwz/rfz do. Parallel engines always accept zero gain
+	// (Section III-D), so it has no effect in parallel mode.
+	ZeroGain bool
 }
 
 func (c Config) normalized() Config {
@@ -80,6 +84,10 @@ type CommandTiming struct {
 	DedupModeled time.Duration
 	NodesAfter   int
 	LevelsAfter  int
+	// Kernels is the per-kernel device profile of this command, including
+	// its cleanup pass when one ran (dedup kernels carry "dedup/" names).
+	// Parallel mode only; the modeled times sum to Modeled + DedupModeled.
+	Kernels []gpu.KernelProfile
 }
 
 // Result is the outcome of running a script.
@@ -148,13 +156,13 @@ func runSequential(a *aig.AIG, cmd string, cfg Config) *aig.AIG {
 		out, _ := balance.Sequential(a)
 		return out
 	case "rw":
-		out, _ := rewrite.Sequential(a, rewrite.Options{})
+		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: cfg.ZeroGain})
 		return out
 	case "rwz":
 		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: true})
 		return out
 	case "rf":
-		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut})
+		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: cfg.ZeroGain})
 		return out
 	case "rfz":
 		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: true})
@@ -170,6 +178,7 @@ func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
 	d := cfg.Device
 	t := CommandTiming{Command: cmd}
 	snap := d.Stats()
+	profSnap := d.Profile()
 	start := time.Now()
 	needDedup := false
 	switch cmd {
@@ -197,13 +206,14 @@ func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
 	}
 	t.Wall = time.Since(start)
 	afterCmd := d.Stats()
-	t.Modeled = afterCmd.ModeledTime - snap.ModeledTime
+	t.Modeled = afterCmd.Sub(snap).ModeledTime
 	if needDedup && !cfg.SkipDedup {
 		dstart := time.Now()
 		a, _ = dedup.Run(d, a)
 		t.DedupWall = time.Since(dstart)
-		t.DedupModeled = d.Stats().ModeledTime - afterCmd.ModeledTime
+		t.DedupModeled = d.Stats().Sub(afterCmd).ModeledTime
 	}
+	t.Kernels = gpu.DiffProfile(d.Profile(), profSnap)
 	return a, t
 }
 

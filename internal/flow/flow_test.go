@@ -2,11 +2,14 @@ package flow
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"aigre/internal/aig"
 	"aigre/internal/bench"
 	"aigre/internal/cec"
+	"aigre/internal/gpu"
 )
 
 func TestParse(t *testing.T) {
@@ -120,5 +123,65 @@ func TestBalanceCommandMatchesLevels(t *testing.T) {
 	par, _ := Run(a, "b", Config{Parallel: true})
 	if seq.AIG.Levels() != par.AIG.Levels() {
 		t.Errorf("levels differ: %d vs %d", seq.AIG.Levels(), par.AIG.Levels())
+	}
+}
+
+// TestPerCommandKernelBreakdown checks the profiler threading: every
+// parallel command carries a per-kernel breakdown whose modeled times sum to
+// the command's Modeled + DedupModeled exactly, and the union of all
+// breakdowns reconciles with the device's total profile.
+func TestPerCommandKernelBreakdown(t *testing.T) {
+	a := testAIG()
+	d := gpu.New(2)
+	res, err := Run(a, "b; rw; rfz", Config{Parallel: true, Device: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumAll time.Duration
+	for _, ct := range res.Timings {
+		if len(ct.Kernels) == 0 {
+			t.Fatalf("command %q has no kernel breakdown", ct.Command)
+		}
+		perCmd := gpu.TotalProfile(ct.Kernels).Modeled
+		if perCmd != ct.Modeled+ct.DedupModeled {
+			t.Errorf("command %q: kernel sum %v != modeled %v + dedup %v",
+				ct.Command, perCmd, ct.Modeled, ct.DedupModeled)
+		}
+		sumAll += perCmd
+		if ct.Command != "b" {
+			found := false
+			for _, k := range ct.Kernels {
+				if strings.HasPrefix(k.Kernel, "dedup/") {
+					found = true
+				}
+			}
+			if found == false {
+				t.Errorf("command %q breakdown lacks dedup kernels: %v", ct.Command, ct.Kernels)
+			}
+		}
+	}
+	if total := d.Stats().ModeledTime; sumAll != total {
+		t.Errorf("per-command kernel sums %v != device modeled total %v", sumAll, total)
+	}
+	if got := gpu.TotalProfile(d.Profile()).Modeled; got != d.Stats().ModeledTime {
+		t.Errorf("device profile total %v != stats modeled %v", got, d.Stats().ModeledTime)
+	}
+}
+
+// TestSequentialZeroGainConfig checks that the ZeroGain config reaches the
+// sequential rw/rf engines: a zero-gain run must still be equivalent and can
+// only differ by accepting zero-gain replacements.
+func TestSequentialZeroGainConfig(t *testing.T) {
+	a := testAIG()
+	res, err := Run(a, "rw; rf", Config{ZeroGain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := cec.Check(a, res.AIG, cec.Options{})
+	if err != nil || !eq.Equivalent {
+		t.Fatalf("zero-gain sequential run not equivalent: %+v %v", eq, err)
+	}
+	if res.AIG.NumAnds() > a.NumAnds() {
+		t.Errorf("zero-gain run grew the AIG: %d -> %d", a.NumAnds(), res.AIG.NumAnds())
 	}
 }

@@ -15,6 +15,7 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,6 +77,21 @@ func (s *Stats) Add(other Stats) {
 	s.WallTime += other.WallTime
 }
 
+// Sub returns s minus other: the execution profile accumulated between the
+// snapshot other and the snapshot s. Use it to attribute device time to a
+// phase: before := d.Stats(); ...; delta := d.Stats().Sub(before).
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Launches:    s.Launches - other.Launches,
+		Threads:     s.Threads - other.Threads,
+		Work:        s.Work - other.Work,
+		Span:        s.Span - other.Span,
+		ModeledTime: s.ModeledTime - other.ModeledTime,
+		SeqTime:     s.SeqTime - other.SeqTime,
+		WallTime:    s.WallTime - other.WallTime,
+	}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("launches=%d threads=%d work=%d span=%d modeled=%v wall=%v",
 		s.Launches, s.Threads, s.Work, s.Span, s.ModeledTime, s.WallTime)
@@ -86,9 +102,15 @@ func (s Stats) String() string {
 // concurrent Launch calls on one Device are not supported, matching a CUDA
 // stream).
 type Device struct {
-	Model   CostModel
+	Model CostModel
+	// Trace, when non-nil, is invoked synchronously for every accounted
+	// device operation (kernel launch, synthetic primitive, sequential
+	// overhead) with its full accounting record. A nil Trace costs a single
+	// predictable branch per launch (see BenchmarkLaunchOverhead).
+	Trace   func(TraceEvent)
 	workers int
 	stats   Stats
+	profile map[string]*KernelProfile
 }
 
 // New creates a device backed by the given number of worker goroutines
@@ -106,17 +128,19 @@ func (d *Device) Workers() int { return d.workers }
 // Stats returns the accumulated execution profile.
 func (d *Device) Stats() Stats { return d.stats }
 
-// ResetStats clears the accumulated profile.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// ResetStats clears the accumulated aggregate and per-kernel profiles.
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	d.profile = nil
+}
 
 // AddOverhead accounts an explicit host-side sequential phase into the
-// modeled time (e.g. the sequential replacement step of rewriting).
-func (d *Device) AddOverhead(ops int64) {
-	d.stats.Work += ops
-	d.stats.Span += ops
+// modeled time (e.g. the sequential replacement step of rewriting),
+// attributed to name in the per-kernel profile (Launches stays 0: this is
+// not a kernel).
+func (d *Device) AddOverhead(name string, ops int64) {
 	dur := time.Duration(ops) * SequentialReference
-	d.stats.ModeledTime += dur
-	d.stats.SeqTime += dur
+	d.account(name, 0, 0, ops, ops, dur, dur, 0)
 }
 
 // Launch runs n logical threads of kernel and blocks until all complete (a
@@ -147,14 +171,9 @@ func (d *Device) Launch(name string, n int, kernel func(tid int) int64) {
 			work, maxOps = d.launchParallel(n, kernel)
 		}
 	}
-	d.stats.Launches++
-	d.stats.Threads += int64(n)
-	d.stats.Work += work
-	d.stats.Span += maxOps
-	d.stats.ModeledTime += d.Model.LaunchOverhead +
+	modeled := d.Model.LaunchOverhead +
 		time.Duration(work/int64(d.Model.Processors)+maxOps)*d.Model.OpTime
-	d.stats.WallTime += time.Since(start)
-	_ = name
+	d.account(name, 1, int64(n), work, maxOps, modeled, 0, time.Since(start))
 }
 
 func (d *Device) launchParallel(n int, kernel func(tid int) int64) (work, maxOps int64) {
@@ -217,8 +236,9 @@ func (d *Device) Launch1(name string, n int, kernel func(tid int)) {
 
 // ExclusiveScan computes the exclusive prefix sum of counts into a new slice
 // and returns it together with the total. Modeled as a work-efficient device
-// scan: its cost is accounted as ~2 ops per element over log-depth passes.
-func (d *Device) ExclusiveScan(counts []int32) ([]int32, int32) {
+// scan: its cost is accounted as ~2 ops per element over log-depth passes,
+// attributed to name in the per-kernel profile.
+func (d *Device) ExclusiveScan(name string, counts []int32) ([]int32, int32) {
 	n := len(counts)
 	out := make([]int32, n)
 	if n == 0 {
@@ -231,39 +251,39 @@ func (d *Device) ExclusiveScan(counts []int32) ([]int32, int32) {
 		out[i] = sum
 		sum += c
 	}
-	d.accountScan(n)
+	d.accountScan(name, n)
 	return out, sum
 }
 
-func (d *Device) accountScan(n int) {
+// accountScan charges a log-depth device scan/reduction over n elements to
+// name.
+func (d *Device) accountScan(name string, n int) {
 	passes := 2 * ceilLog2(n)
 	if passes == 0 {
 		passes = 1
 	}
-	d.stats.Launches += passes
-	d.stats.Threads += int64(n)
-	d.stats.Work += int64(2 * n)
-	d.stats.Span += int64(passes)
 	waves := int64((n + d.Model.Processors - 1) / d.Model.Processors)
 	if waves == 0 {
 		waves = 1
 	}
-	d.stats.ModeledTime += time.Duration(passes)*d.Model.LaunchOverhead +
+	modeled := time.Duration(passes)*d.Model.LaunchOverhead +
 		time.Duration(waves*int64(passes))*d.Model.OpTime
+	d.account(name, passes, int64(n), int64(2*n), int64(passes), modeled, 0, 0)
 }
 
 // Compact gathers the elements of src whose keep flag is set into a new
-// densely packed slice, preserving order (stream compaction).
-func Compact[T any](d *Device, src []T, keep []bool) []T {
+// densely packed slice, preserving order (stream compaction). Its three
+// internal launches are attributed to name + "/flags", "/scan", "/scatter".
+func Compact[T any](d *Device, name string, src []T, keep []bool) []T {
 	counts := make([]int32, len(src))
-	d.Launch1("compact/flags", len(src), func(tid int) {
+	d.Launch1(name+"/flags", len(src), func(tid int) {
 		if keep[tid] {
 			counts[tid] = 1
 		}
 	})
-	offsets, total := d.ExclusiveScan(counts)
+	offsets, total := d.ExclusiveScan(name+"/scan", counts)
 	out := make([]T, total)
-	d.Launch1("compact/scatter", len(src), func(tid int) {
+	d.Launch1(name+"/scatter", len(src), func(tid int) {
 		if keep[tid] {
 			out[offsets[tid]] = src[tid]
 		}
@@ -271,36 +291,39 @@ func Compact[T any](d *Device, src []T, keep []bool) []T {
 	return out
 }
 
-// ReduceMax returns the maximum of values (0 for an empty slice), accounted
-// as a log-depth device reduction.
-func (d *Device) ReduceMax(values []int32) int32 {
-	var m int32
+// ReduceMax returns the maximum of values, accounted as a log-depth device
+// reduction. The reduction identity is math.MinInt32, which is returned for
+// an empty slice — all-negative inputs reduce correctly.
+func (d *Device) ReduceMax(name string, values []int32) int32 {
+	m := int32(math.MinInt32)
 	for _, v := range values {
 		if v > m {
 			m = v
 		}
 	}
-	d.accountScan(len(values))
+	d.accountScan(name, len(values))
 	return m
 }
 
 // ReduceSum returns the sum of values, accounted as a device reduction.
-func (d *Device) ReduceSum(values []int32) int64 {
+func (d *Device) ReduceSum(name string, values []int32) int64 {
 	var s int64
 	for _, v := range values {
 		s += int64(v)
 	}
-	d.accountScan(len(values))
+	d.accountScan(name, len(values))
 	return s
 }
 
-// SortUniqueInt32 sorts ids and removes duplicates, modeled as a device
-// radix sort + unique compaction. Used for frontier de-duplication.
-func (d *Device) SortUniqueInt32(ids []int32) []int32 {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:0]
+// SortUniqueInt32 returns a freshly allocated sorted slice of the distinct
+// values of ids, leaving ids untouched. Modeled as a device radix sort +
+// unique compaction, attributed to name. Used for frontier de-duplication.
+func (d *Device) SortUniqueInt32(name string, ids []int32) []int32 {
+	sorted := append([]int32(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
 	var last int32 = -1
-	for _, id := range ids {
+	for _, id := range sorted {
 		if id != last {
 			out = append(out, id)
 			last = id
@@ -308,15 +331,12 @@ func (d *Device) SortUniqueInt32(ids []int32) []int32 {
 	}
 	// Radix sort: ~4 passes over the data plus a unique pass.
 	n := len(ids)
-	d.stats.Launches += 5
-	d.stats.Threads += int64(5 * n)
-	d.stats.Work += int64(5 * n)
-	d.stats.Span += 5
 	waves := int64((n + d.Model.Processors - 1) / d.Model.Processors)
 	if waves == 0 {
 		waves = 1
 	}
-	d.stats.ModeledTime += 5*d.Model.LaunchOverhead + time.Duration(5*waves)*d.Model.OpTime
+	modeled := 5*d.Model.LaunchOverhead + time.Duration(5*waves)*d.Model.OpTime
+	d.account(name, 5, int64(5*n), int64(5*n), 5, modeled, 0, 0)
 	return out
 }
 

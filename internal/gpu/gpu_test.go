@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -64,7 +65,7 @@ func TestModeledTimeBrent(t *testing.T) {
 func TestExclusiveScan(t *testing.T) {
 	d := New(2)
 	counts := []int32{3, 0, 1, 5, 2}
-	offsets, total := d.ExclusiveScan(counts)
+	offsets, total := d.ExclusiveScan("test/scan", counts)
 	want := []int32{0, 3, 3, 4, 9}
 	if total != 11 {
 		t.Errorf("total = %d", total)
@@ -75,7 +76,7 @@ func TestExclusiveScan(t *testing.T) {
 			break
 		}
 	}
-	_, zero := d.ExclusiveScan(nil)
+	_, zero := d.ExclusiveScan("test/scan", nil)
 	if zero != 0 {
 		t.Errorf("empty scan total = %d", zero)
 	}
@@ -88,7 +89,7 @@ func TestQuickScanMatchesSequential(t *testing.T) {
 		for i, v := range raw {
 			counts[i] = int32(v % 7)
 		}
-		offsets, total := d.ExclusiveScan(counts)
+		offsets, total := d.ExclusiveScan("test/scan", counts)
 		var sum int32
 		for i, c := range counts {
 			if offsets[i] != sum {
@@ -107,7 +108,7 @@ func TestCompact(t *testing.T) {
 	d := New(3)
 	src := []int{10, 11, 12, 13, 14, 15}
 	keep := []bool{true, false, true, false, false, true}
-	got := Compact(d, src, keep)
+	got := Compact(d, "test/compact", src, keep)
 	want := []int{10, 12, 15}
 	if len(got) != len(want) {
 		t.Fatalf("got %v", got)
@@ -121,7 +122,7 @@ func TestCompact(t *testing.T) {
 
 func TestSortUnique(t *testing.T) {
 	d := New(2)
-	got := d.SortUniqueInt32([]int32{5, 1, 5, 3, 1, 1, 9})
+	got := d.SortUniqueInt32("test/sort", []int32{5, 1, 5, 3, 1, 1, 9})
 	want := []int32{1, 3, 5, 9}
 	if len(got) != len(want) {
 		t.Fatalf("got %v", got)
@@ -133,16 +134,45 @@ func TestSortUnique(t *testing.T) {
 	}
 }
 
+// TestSortUniqueLeavesInputUntouched pins the fixed aliasing contract: the
+// caller's slice is neither reordered nor aliased by the result.
+func TestSortUniqueLeavesInputUntouched(t *testing.T) {
+	d := New(2)
+	in := []int32{5, 1, 5, 3, 1, 1, 9}
+	orig := append([]int32(nil), in...)
+	got := d.SortUniqueInt32("test/sort", in)
+	for i := range orig {
+		if in[i] != orig[i] {
+			t.Fatalf("input mutated: %v (was %v)", in, orig)
+		}
+	}
+	got[0] = -77
+	for i := range orig {
+		if in[i] != orig[i] {
+			t.Fatalf("result aliases input: %v after writing to result", in)
+		}
+	}
+}
+
 func TestReduce(t *testing.T) {
 	d := New(2)
-	if m := d.ReduceMax([]int32{3, 9, 2}); m != 9 {
+	if m := d.ReduceMax("test/reduce", []int32{3, 9, 2}); m != 9 {
 		t.Errorf("ReduceMax = %d", m)
 	}
-	if m := d.ReduceMax(nil); m != 0 {
-		t.Errorf("ReduceMax(nil) = %d", m)
+	if m := d.ReduceMax("test/reduce", nil); m != math.MinInt32 {
+		t.Errorf("ReduceMax(nil) = %d, want MinInt32 identity", m)
 	}
-	if s := d.ReduceSum([]int32{1, 2, 3}); s != 6 {
+	if s := d.ReduceSum("test/reduce", []int32{1, 2, 3}); s != 6 {
 		t.Errorf("ReduceSum = %d", s)
+	}
+}
+
+// TestReduceMaxAllNegative pins the fixed identity: the maximum of an
+// all-negative slice is its true maximum, not 0.
+func TestReduceMaxAllNegative(t *testing.T) {
+	d := New(2)
+	if m := d.ReduceMax("test/reduce", []int32{-7, -3, -12}); m != -3 {
+		t.Errorf("ReduceMax(all negative) = %d, want -3", m)
 	}
 }
 

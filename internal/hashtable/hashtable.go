@@ -33,7 +33,7 @@ const InvalidValue = invalidVal
 // structural keys are never zero for real AND nodes (an AND of two
 // constant-false literals is simplified away before hashing).
 //
-// All methods except Rehash and Clear are safe for concurrent use.
+// All methods except Rehash are safe for concurrent use.
 type Table struct {
 	keys []uint64
 	vals []uint32
@@ -162,10 +162,13 @@ type KV struct {
 // nil device performs a plain host-side sweep.
 func (t *Table) Dump(d *gpu.Device) []KV {
 	if d == nil {
+		// Atomic loads: Dump may run concurrently with InsertUnique (the
+		// documented contract), and a slot's value is published after its
+		// key CAS — waitVal closes that window.
 		out := make([]KV, 0, t.Len())
-		for i, k := range t.keys {
-			if k != emptyKey {
-				out = append(out, KV{k, t.vals[i]})
+		for i := range t.keys {
+			if k := atomic.LoadUint64(&t.keys[i]); k != emptyKey {
+				out = append(out, KV{k, t.waitVal(uint64(i))})
 			}
 		}
 		return out
@@ -175,10 +178,10 @@ func (t *Table) Dump(d *gpu.Device) []KV {
 	d.Launch1("hashtable/dump-flags", len(t.keys), func(i int) {
 		if k := atomic.LoadUint64(&t.keys[i]); k != emptyKey {
 			keep[i] = true
-			src[i] = KV{k, atomic.LoadUint32(&t.vals[i])}
+			src[i] = KV{k, t.waitVal(uint64(i))}
 		}
 	})
-	return gpu.Compact(d, src, keep)
+	return gpu.Compact(d, "hashtable/dump", src, keep)
 }
 
 // Rehash grows the table to hold at least capacityHint entries. Not safe

@@ -1,0 +1,92 @@
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aigre/internal/gpu"
+)
+
+// TestConcurrentInsertAndDumpStress exercises the documented contract that
+// Dump is safe to run concurrently with InsertUnique: writer goroutines
+// insert disjoint key ranges while a reader repeatedly dumps the host path.
+// Run with -race to validate the atomic loads in the host sweep. Every
+// intermediate dump must be a consistent subset (valid values, no
+// duplicates), and the final dump must be complete.
+func TestConcurrentInsertAndDumpStress(t *testing.T) {
+	const (
+		writers       = 4
+		keysPerWriter = 2000
+	)
+	ht := New(writers * keysPerWriter)
+	var done int32
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= keysPerWriter; k++ {
+				key := uint64(w*keysPerWriter + k)
+				ht.InsertUnique(key, uint32(key*3))
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		atomic.StoreInt32(&done, 1)
+	}()
+
+	check := func(dump []KV) {
+		seen := make(map[uint64]bool, len(dump))
+		for _, kv := range dump {
+			if kv.Key == 0 || kv.Key > uint64(writers*keysPerWriter) {
+				t.Fatalf("dump contains invalid key %d", kv.Key)
+			}
+			if kv.Val == InvalidValue {
+				t.Fatalf("dump observed unpublished value for key %d", kv.Key)
+			}
+			if kv.Val != uint32(kv.Key*3) {
+				t.Fatalf("key %d has value %d, want %d", kv.Key, kv.Val, uint32(kv.Key*3))
+			}
+			if seen[kv.Key] {
+				t.Fatalf("key %d dumped twice", kv.Key)
+			}
+			seen[kv.Key] = true
+		}
+	}
+	for atomic.LoadInt32(&done) == 0 {
+		check(ht.Dump(nil))
+	}
+	final := ht.Dump(nil)
+	check(final)
+	if len(final) != writers*keysPerWriter {
+		t.Fatalf("final dump has %d entries, want %d", len(final), writers*keysPerWriter)
+	}
+}
+
+// TestConcurrentInsertAndDeviceDumpStress is the same race against the
+// device-kernel dump path.
+func TestConcurrentInsertAndDeviceDumpStress(t *testing.T) {
+	const keys = 4000
+	ht := New(keys)
+	d := gpu.New(2)
+	var done int32
+	go func() {
+		for k := 1; k <= keys; k++ {
+			ht.InsertUnique(uint64(k), uint32(k))
+		}
+		atomic.StoreInt32(&done, 1)
+	}()
+	for atomic.LoadInt32(&done) == 0 {
+		for _, kv := range ht.Dump(d) {
+			if kv.Val == InvalidValue || kv.Val != uint32(kv.Key) {
+				t.Fatalf("device dump saw inconsistent entry %v", kv)
+			}
+		}
+	}
+	if got := len(ht.Dump(d)); got != keys {
+		t.Fatalf("final device dump has %d entries, want %d", got, keys)
+	}
+}

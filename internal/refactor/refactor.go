@@ -204,7 +204,7 @@ func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.
 		}
 		work.ReplaceNode(r.Cone.Root, newRoot)
 	}
-	d.AddOverhead(ops)
+	d.AddOverhead("refactor/seq-replace", ops)
 	out, _ := work.Compact()
 	return out
 }

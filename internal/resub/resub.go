@@ -389,7 +389,7 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 			}
 		}
 	}
-	d.AddOverhead(seqOps)
+	d.AddOverhead("resub/seq-replace", seqOps)
 	out, _ := work.Compact()
 	st.NodesAfter = out.NumAnds()
 	return out, st

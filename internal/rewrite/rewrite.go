@@ -300,7 +300,7 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 			seqOps += int64(2*len(cands[i].prog.Ops) + 16)
 		}
 	}
-	d.AddOverhead(seqOps)
+	d.AddOverhead("rewrite/seq-replace", seqOps)
 
 	out, _ := work.Compact()
 	st.NodesAfter = out.NumAnds()
