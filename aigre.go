@@ -80,6 +80,19 @@ type Options struct {
 	// inside sequences (the paper's GPU resyn2 uses 2). Default 2 for
 	// Resyn2, 1 elsewhere.
 	RwzPasses int
+	// Verify upgrades the per-command functional gate of script runs from
+	// random-simulation sampling to a full combinational equivalence check
+	// (the CLI -verify flag). Complete but potentially much slower.
+	Verify bool
+	// GateRounds is the number of 64-pattern sampling rounds of the default
+	// per-command equivalence gate in script runs (0 = 4; negative disables
+	// the gate).
+	GateRounds int
+	// FaultPlans installs deterministic fault injections on the simulated
+	// device backing this run (a chaos-testing facility: each plan panics or
+	// corrupts the Nth kernel launch matching a name pattern, exercising the
+	// guarded rollback path). See gpu.FaultPlan.
+	FaultPlans []gpu.FaultPlan
 }
 
 // Result reports an optimization run.
@@ -96,6 +109,11 @@ type Result struct {
 	// sequential runs). The modeled times of its rows sum to Modeled
 	// exactly; see gpu.FormatProfile for a printable table.
 	Profile []gpu.KernelProfile
+	// Incidents lists contained failures of a script run: commands that
+	// aborted (kernel panic, full hash table) or failed validation, and how
+	// the guarded runner degraded them (sequential retry or skip). Empty on
+	// a clean run.
+	Incidents []flow.Incident
 }
 
 // New returns an empty network with the given number of primary inputs.
@@ -200,7 +218,13 @@ func (n *Network) WriteFile(path string) error {
 	return n.Write(f)
 }
 
-func (o Options) device() *gpu.Device { return gpu.New(o.Workers) }
+func (o Options) device() *gpu.Device {
+	d := gpu.New(o.Workers)
+	if len(o.FaultPlans) > 0 {
+		d.InjectFaults(o.FaultPlans...)
+	}
+	return d
+}
 
 func (o Options) passes() int {
 	if o.Passes <= 0 {
@@ -325,11 +349,13 @@ func (n *Network) Dedup(opts Options) (Result, error) {
 // the vocabulary).
 func (n *Network) Run(script string, opts Options) (Result, error) {
 	cfg := flow.Config{
-		Parallel:  opts.Parallel,
-		MaxCut:    opts.MaxCut,
-		RwzPasses: opts.RwzPasses,
-		RfPasses:  opts.Passes,
-		ZeroGain:  opts.ZeroGain,
+		Parallel:   opts.Parallel,
+		MaxCut:     opts.MaxCut,
+		RwzPasses:  opts.RwzPasses,
+		RfPasses:   opts.Passes,
+		ZeroGain:   opts.ZeroGain,
+		Verify:     opts.Verify,
+		GateRounds: opts.GateRounds,
 	}
 	if opts.Parallel {
 		cfg.Device = opts.device()
@@ -340,10 +366,11 @@ func (n *Network) Run(script string, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	out := Result{
-		AIG:     &Network{aig: res.AIG},
-		Wall:    time.Since(start),
-		Modeled: res.TotalModeled,
-		Timings: res.Timings,
+		AIG:       &Network{aig: res.AIG},
+		Wall:      time.Since(start),
+		Modeled:   res.TotalModeled,
+		Timings:   res.Timings,
+		Incidents: res.Incidents,
 	}
 	if cfg.Device != nil {
 		out.Profile = cfg.Device.Profile()

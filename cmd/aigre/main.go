@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"aigre"
@@ -35,6 +37,8 @@ func main() {
 		zeroGain = flag.Bool("zerogain", false, "sequential rw/rf accept zero-gain replacements (like rwz/rfz)")
 		profile  = flag.Bool("profile", false, "print the per-kernel device profile (parallel mode)")
 		profJSON = flag.String("profile-json", "", "write the profile report as JSON to this file (\"-\" = stdout)")
+		verify   = flag.Bool("verify", false, "full per-command equivalence gate during script runs (default: sampling gate)")
+		inject   = flag.String("inject", "", "inject a deterministic fault: \"kernel-pattern:N:panic\" or \"kernel-pattern:N:corrupt\" (chaos testing, parallel mode)")
 		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
 		cecWith  = flag.String("cec-with", "", "check equivalence of -in against this AIGER file and exit")
 		verbose  = flag.Bool("v", false, "print per-command statistics")
@@ -94,6 +98,12 @@ func main() {
 			MaxCut:   *maxCut,
 			Passes:   *passes,
 			ZeroGain: *zeroGain,
+			Verify:   *verify,
+		}
+		if *inject != "" {
+			plan, err := parseInject(*inject)
+			fatal(err)
+			opts.FaultPlans = []gpu.FaultPlan{plan}
 		}
 		if *resyn2 {
 			opts.RwzPasses = 2
@@ -112,6 +122,9 @@ func main() {
 			mode = "parallel"
 		}
 		fmt.Fprintf(msg, "script: %q (%s)  wall=%v modeled=%v\n", s, mode, res.Wall, res.Modeled)
+		for _, inc := range res.Incidents {
+			fmt.Fprintln(msg, "incident:", inc)
+		}
 		fmt.Fprintln(msg, "output: ", cur.Stats())
 		if *profile {
 			if res.Profile == nil {
@@ -148,6 +161,9 @@ type profileReport struct {
 	ModeledNS time.Duration       `json:"modeled_ns"`
 	Kernels   []gpu.KernelProfile `json:"kernels"`
 	Commands  []commandReport     `json:"commands"`
+	// Incidents are the contained failures of the guarded run (omitted when
+	// the run was clean).
+	Incidents []flow.Incident `json:"incidents,omitempty"`
 }
 
 type commandReport struct {
@@ -167,6 +183,7 @@ func writeProfileJSON(path, script, mode string, res aigre.Result) error {
 		WallNS:    res.Wall,
 		ModeledNS: res.Modeled,
 		Kernels:   res.Profile,
+		Incidents: res.Incidents,
 	}
 	for _, t := range res.Timings {
 		rep.Commands = append(rep.Commands, commandReport{
@@ -189,6 +206,28 @@ func writeProfileJSON(path, script, mode string, res aigre.Result) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// parseInject parses the -inject spec "kernel-pattern:N:kind".
+func parseInject(s string) (gpu.FaultPlan, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return gpu.FaultPlan{}, fmt.Errorf("bad -inject %q, want \"kernel-pattern:N:panic|corrupt\"", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return gpu.FaultPlan{}, fmt.Errorf("bad -inject launch ordinal %q (want >= 1)", parts[1])
+	}
+	var kind gpu.FaultKind
+	switch parts[2] {
+	case "panic":
+		kind = gpu.FaultPanic
+	case "corrupt":
+		kind = gpu.FaultCorrupt
+	default:
+		return gpu.FaultPlan{}, fmt.Errorf("bad -inject kind %q (want panic or corrupt)", parts[2])
+	}
+	return gpu.FaultPlan{Kernel: parts[0], Nth: n, Kind: kind}, nil
 }
 
 func fatal(err error) {

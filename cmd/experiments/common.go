@@ -48,6 +48,15 @@ func verify(name string, in, out *aig.AIG) {
 	}
 }
 
+// reportIncidents surfaces contained failures of a guarded run: experiment
+// numbers from a degraded run are still valid results, but the reader must
+// know a command fell back or was skipped.
+func reportIncidents(name string, incs []flow.Incident) {
+	for _, inc := range incs {
+		fmt.Fprintf(os.Stderr, "  incident %-14s %s\n", name, inc)
+	}
+}
+
 // runSeqScript times a sequential (ABC-style) script.
 func runSeqScript(a *aig.AIG, script string) (*aig.AIG, time.Duration) {
 	start := time.Now()
@@ -55,6 +64,7 @@ func runSeqScript(a *aig.AIG, script string) (*aig.AIG, time.Duration) {
 	if err != nil {
 		panic(err)
 	}
+	reportIncidents(a.Name, res.Incidents)
 	return res.AIG, time.Since(start)
 }
 
@@ -72,6 +82,7 @@ func runParScript(a *aig.AIG, script string, rwzPasses, rfPasses int) (*aig.AIG,
 	if err != nil {
 		panic(err)
 	}
+	reportIncidents(a.Name, res.Incidents)
 	if *profileFlag {
 		fmt.Printf("  per-kernel device profile (%s, %d workers):\n", a.Name, d.Workers())
 		fmt.Print(gpu.FormatProfile(d.Profile()))

@@ -414,38 +414,6 @@ func (a *AIG) Clone() *AIG {
 	return c
 }
 
-// Check validates structural invariants: fanin ids in range, no AND node
-// references itself or a deleted node, PO literals in range. It returns the
-// first violation found.
-func (a *AIG) Check() error {
-	n := int32(len(a.fanin0))
-	for id := a.numPIs + 1; id < n; id++ {
-		if a.IsDeleted(id) {
-			continue
-		}
-		for _, f := range [2]Lit{a.fanin0[id], a.fanin1[id]} {
-			v := f.Var()
-			if v < 0 || v >= n {
-				return fmt.Errorf("aig: node %d fanin literal %d out of range", id, f)
-			}
-			if v == id {
-				return fmt.Errorf("aig: node %d references itself", id)
-			}
-			if a.IsDeleted(v) {
-				return fmt.Errorf("aig: node %d references deleted node %d", id, v)
-			}
-		}
-	}
-	for i, p := range a.pos {
-		if v := p.Var(); v < 0 || v >= n {
-			return fmt.Errorf("aig: PO %d literal %d out of range", i, p)
-		} else if a.IsDeleted(v) {
-			return fmt.Errorf("aig: PO %d references deleted node %d", i, v)
-		}
-	}
-	return nil
-}
-
 // MemoryFootprint returns an estimate of the memory used by the basic
 // structure in bytes, for reporting.
 func (a *AIG) MemoryFootprint() int64 {

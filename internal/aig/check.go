@@ -1,0 +1,171 @@
+package aig
+
+import "fmt"
+
+// Check validates the structural invariants of an AIG and returns the first
+// violation found, or nil. It is the integrity gate run by the guarded flow
+// layer on every pass output, so it must accept every legal network state
+// (including mid-edit states with deleted nodes and non-topological id
+// order) while rejecting anything a downstream consumer could trip over:
+//
+//   - fanin literals of live AND nodes are in range, do not reference the
+//     node itself, and do not reference deleted nodes;
+//   - the live subgraph is acyclic (a topological order exists);
+//   - PO literals are in range and do not reference deleted nodes;
+//   - when structural hashing is enabled, every live table entry's key
+//     matches the normalized fanin pair of the node it names;
+//   - when fanout tracking is enabled, the fanout lists and PO reference
+//     counts agree exactly with the fanin edges and PO literals.
+func Check(a *AIG) error {
+	n := int32(len(a.fanin0))
+	if int(a.numPIs)+1 > len(a.fanin0) {
+		return fmt.Errorf("aig: %d PIs but only %d objects", a.numPIs, len(a.fanin0))
+	}
+	for id := a.numPIs + 1; id < n; id++ {
+		if a.IsDeleted(id) {
+			continue
+		}
+		for _, f := range [2]Lit{a.fanin0[id], a.fanin1[id]} {
+			v := f.Var()
+			if v < 0 || v >= n {
+				return fmt.Errorf("aig: node %d fanin literal %d out of range", id, f)
+			}
+			if v == id {
+				return fmt.Errorf("aig: node %d references itself", id)
+			}
+			if a.IsDeleted(v) {
+				return fmt.Errorf("aig: node %d references deleted node %d", id, v)
+			}
+		}
+	}
+	for i, p := range a.pos {
+		if v := p.Var(); v < 0 || v >= n {
+			return fmt.Errorf("aig: PO %d literal %d out of range", i, p)
+		} else if a.IsDeleted(v) {
+			return fmt.Errorf("aig: PO %d references deleted node %d", i, v)
+		}
+	}
+	if err := a.checkAcyclic(); err != nil {
+		return err
+	}
+	if a.strash != nil {
+		if err := a.checkStrash(); err != nil {
+			return err
+		}
+	}
+	if a.fanouts != nil {
+		if err := a.checkFanouts(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check validates structural invariants; see the package-level Check.
+func (a *AIG) Check() error { return Check(a) }
+
+// checkAcyclic verifies that a topological order of the live AND nodes
+// exists, via an iterative three-color depth-first search.
+func (a *AIG) checkAcyclic() error {
+	const (
+		white = byte(0) // unvisited
+		grey  = byte(1) // on the DFS path
+		black = byte(2) // finished
+	)
+	n := int32(len(a.fanin0))
+	color := make([]byte, n)
+	for id := int32(0); id <= a.numPIs; id++ {
+		color[id] = black
+	}
+	var stack []int32
+	for root := a.numPIs + 1; root < n; root++ {
+		if a.IsDeleted(root) || color[root] != white {
+			continue
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			if color[cur] == black {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			color[cur] = grey
+			advanced := false
+			for _, f := range [2]Lit{a.fanin0[cur], a.fanin1[cur]} {
+				v := f.Var()
+				switch color[v] {
+				case grey:
+					return fmt.Errorf("aig: cycle through node %d (fanin %d)", cur, v)
+				case white:
+					stack = append(stack, v)
+					advanced = true
+				}
+			}
+			if !advanced {
+				color[cur] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// checkStrash verifies that every structural-hashing entry naming a live AND
+// node carries that node's normalized fanin key. Entries naming deleted
+// nodes are tolerated (Lookup skips them), but an entry must never name a
+// non-AND object, and a node's recorded key must match its actual fanins —
+// a mismatch means lookups would alias distinct functions.
+func (a *AIG) checkStrash() error {
+	for k, id := range a.strash {
+		if !a.IsAnd(id) {
+			return fmt.Errorf("aig: strash key %#x names non-AND object %d", k, id)
+		}
+		if a.IsDeleted(id) {
+			continue
+		}
+		if got := Key(a.fanin0[id], a.fanin1[id]); got != k {
+			return fmt.Errorf("aig: strash key %#x names node %d whose fanin key is %#x", k, id, got)
+		}
+	}
+	return nil
+}
+
+// checkFanouts verifies that fanout lists and PO reference counts agree with
+// the fanin edges: each live AND contributes one fanout entry per fanin edge
+// (two entries when both fanins reference the same node), deleted nodes have
+// no fanout entries, and nPORefs matches the PO literals exactly.
+func (a *AIG) checkFanouts() error {
+	n := int32(len(a.fanin0))
+	expected := make([]int32, n)
+	for id := a.numPIs + 1; id < n; id++ {
+		if a.IsDeleted(id) {
+			continue
+		}
+		expected[a.fanin0[id].Var()]++
+		expected[a.fanin1[id].Var()]++
+	}
+	for v := int32(0); v < n; v++ {
+		fos := a.fanouts[v]
+		if int32(len(fos)) != expected[v] {
+			return fmt.Errorf("aig: node %d has %d fanout entries, want %d", v, len(fos), expected[v])
+		}
+		for _, f := range fos {
+			if !a.IsAnd(f) || a.IsDeleted(f) {
+				return fmt.Errorf("aig: node %d lists dead fanout %d", v, f)
+			}
+			if a.fanin0[f].Var() != v && a.fanin1[f].Var() != v {
+				return fmt.Errorf("aig: node %d lists fanout %d that does not reference it", v, f)
+			}
+		}
+	}
+	poRefs := make([]int32, n)
+	for _, p := range a.pos {
+		poRefs[p.Var()]++
+	}
+	for v := int32(0); v < n; v++ {
+		if a.nPORefs[v] != poRefs[v] {
+			return fmt.Errorf("aig: node %d has PO refcount %d, want %d", v, a.nPORefs[v], poRefs[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package aig
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// validNet builds a small valid strashed network with fanout tracking.
+func validNet() *AIG {
+	a := New(3)
+	a.EnableStrash()
+	x, y, z := a.PI(0), a.PI(1), a.PI(2)
+	a.AddPO(a.Or(a.NewAnd(x, y), a.NewAnd(y.Not(), z)))
+	a.EnableFanouts()
+	return a
+}
+
+func TestCheckAcceptsValidNetworks(t *testing.T) {
+	if err := Check(validNet()); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	r := Random(rng, 8, 300, 4)
+	if err := Check(r); err != nil {
+		t.Fatalf("random network rejected: %v", err)
+	}
+	if err := r.Check(); err != nil { // method delegates
+		t.Fatalf("method Check rejected: %v", err)
+	}
+}
+
+func TestCheckDetectsCycle(t *testing.T) {
+	a := New(2)
+	l1 := a.AddAndUnchecked(a.PI(0), a.PI(1))
+	l2 := a.AddAndUnchecked(l1, a.PI(0))
+	a.AddPO(l2)
+	// Close a cycle: l1's fanin becomes l2.
+	a.SetFanins(l1.Var(), l2, a.PI(1))
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestCheckDetectsSelfReference(t *testing.T) {
+	a := New(1)
+	l := a.AddAndUnchecked(a.PI(0), a.PI(0).Not())
+	a.AddPO(l)
+	a.SetFanins(l.Var(), l, a.PI(0))
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "references itself") {
+		t.Fatalf("self-reference not detected: %v", err)
+	}
+}
+
+func TestCheckDetectsOutOfRangeFanin(t *testing.T) {
+	a := New(1)
+	l := a.AddAndUnchecked(a.PI(0), a.PI(0))
+	a.AddPO(l)
+	a.SetFanins(l.Var(), MakeLit(999, false), a.PI(0))
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range fanin not detected: %v", err)
+	}
+}
+
+func TestCheckDetectsBadPO(t *testing.T) {
+	a := New(1)
+	a.AddPO(MakeLit(50, true))
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "PO") {
+		t.Fatalf("bad PO not detected: %v", err)
+	}
+}
+
+func TestCheckDetectsStrashMismatch(t *testing.T) {
+	a := New(3)
+	a.EnableStrash()
+	and := a.NewAnd(a.PI(0), a.PI(1))
+	a.AddPO(and)
+	// Corrupt the node's fanins behind the table's back.
+	a.SetFanins(and.Var(), a.PI(1), a.PI(2))
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "strash") {
+		t.Fatalf("strash mismatch not detected: %v", err)
+	}
+}
+
+func TestCheckDetectsFanoutInconsistency(t *testing.T) {
+	// No strash here: the corruption below must be caught by the fanout
+	// check, not masked by the strash one.
+	a := New(3)
+	and1 := a.AddAndUnchecked(a.PI(0), a.PI(1))
+	and2 := a.AddAndUnchecked(and1, a.PI(1).Not())
+	a.AddPO(and2)
+	a.EnableFanouts()
+	if err := Check(a); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	// Corrupt: rewire a node's fanin without updating fanout lists.
+	var target int32
+	a.ForEachAnd(func(id int32) { target = id })
+	f0 := a.Fanin0(target)
+	// Swap in a complemented PI edge the fanout lists don't know about.
+	a.fanin0[target] = a.PI(2).Not()
+	err := Check(a)
+	if err == nil || !strings.Contains(err.Error(), "fanout") {
+		t.Fatalf("fanout inconsistency not detected: %v", err)
+	}
+	a.fanin0[target] = f0
+	if err := Check(a); err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+	// Corrupt the PO refcount.
+	a.nPORefs[a.POs()[0].Var()]++
+	err = Check(a)
+	if err == nil || !strings.Contains(err.Error(), "PO refcount") {
+		t.Fatalf("PO refcount inconsistency not detected: %v", err)
+	}
+}
+
+func TestCheckToleratesDeletedNodesAndMidEditStates(t *testing.T) {
+	a := New(2)
+	a.EnableStrash()
+	and1 := a.NewAnd(a.PI(0), a.PI(1))
+	and2 := a.NewAnd(and1, a.PI(0).Not())
+	a.AddPO(and2)
+	a.EnableFanouts()
+	// In-place replacement leaves deleted nodes behind; Check must accept.
+	a.ReplaceNode(and2.Var(), and1)
+	if err := Check(a); err != nil {
+		t.Fatalf("mid-edit state rejected: %v", err)
+	}
+}

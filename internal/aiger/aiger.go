@@ -14,9 +14,35 @@ import (
 	"aigre/internal/aig"
 )
 
+// maxHeaderCount bounds every AIGER header field: 2^26 nodes is well beyond
+// the largest published benchmark suites while keeping a hostile header from
+// driving a multi-gigabyte allocation before the body is even read. Slice
+// pre-allocation is additionally clamped (maxPrealloc), so declared-but-
+// absent body data cannot reserve memory either.
+const (
+	maxHeaderCount = 1 << 26
+	maxPrealloc    = 1 << 20
+)
+
+func preallocHint(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
 // Read parses an AIGER file (ASCII or binary, auto-detected from the magic)
 // into an AIG. Symbol tables and comments are skipped.
-func Read(r io.Reader) (*aig.AIG, error) {
+//
+// Read never panics on malformed input: header fields are bounded before any
+// allocation, and any residual panic in the construction path is converted
+// into an error (the CLI turns it into a one-line diagnostic).
+func Read(r io.Reader) (a *aig.AIG, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			a, err = nil, fmt.Errorf("aiger: malformed input: %v", rec)
+		}
+	}()
 	br := bufio.NewReaderSize(r, 1<<20)
 	header, err := br.ReadString('\n')
 	if err != nil {
@@ -31,6 +57,9 @@ func Read(r io.Reader) (*aig.AIG, error) {
 		n, err := strconv.Atoi(fields[i+1])
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("aiger: bad header field %q", fields[i+1])
+		}
+		if n > maxHeaderCount {
+			return nil, fmt.Errorf("aiger: header field %d exceeds limit %d", n, maxHeaderCount)
 		}
 		nums[i] = n
 	}
@@ -52,9 +81,9 @@ func Read(r io.Reader) (*aig.AIG, error) {
 }
 
 func readASCII(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
-	a := aig.NewCap(in, in+1+ands)
+	a := aig.NewCap(in, in+1+preallocHint(ands))
 	readLits := func(n int) ([]uint64, error) {
-		lits := make([]uint64, 0, n)
+		lits := make([]uint64, 0, preallocHint(n))
 		for len(lits) < n {
 			line, err := br.ReadString('\n')
 			if err != nil && len(strings.TrimSpace(line)) == 0 {
@@ -108,9 +137,9 @@ func readASCII(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
 }
 
 func readBinary(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
-	a := aig.NewCap(in, in+1+ands)
-	outLits := make([]uint64, out)
-	for i := range outLits {
+	a := aig.NewCap(in, in+1+preallocHint(ands))
+	outLits := make([]uint64, 0, preallocHint(out))
+	for i := 0; i < out; i++ {
 		line, err := br.ReadString('\n')
 		if err != nil {
 			return nil, fmt.Errorf("aiger: reading output %d: %w", i, err)
@@ -119,7 +148,7 @@ func readBinary(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
 		if err != nil {
 			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(line))
 		}
-		outLits[i] = v
+		outLits = append(outLits, v)
 	}
 	for i := 0; i < ands; i++ {
 		lhs := uint64(2 * (in + 1 + i))
@@ -132,7 +161,9 @@ func readBinary(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
 			return nil, fmt.Errorf("aiger: AND %d delta1: %w", i, err)
 		}
 		rhs0 := lhs - d0
-		if d0 > lhs || d1 > rhs0 {
+		// The format requires lhs > rhs0 >= rhs1, so delta0 must be nonzero
+		// (a zero delta would make the node reference itself).
+		if d0 == 0 || d0 > lhs || d1 > rhs0 {
 			return nil, fmt.Errorf("aiger: AND %d deltas out of range", i)
 		}
 		rhs1 := rhs0 - d1

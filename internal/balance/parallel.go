@@ -172,7 +172,10 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 				y := h.pop()
 				res := combineStep(x, y, func(f0, f1 aig.Lit) aig.Lit {
 					provisional := base + offsets[ri] + used[ri]
-					got, inserted := ht.InsertUnique(aig.Key(f0, f1), uint32(provisional))
+					got, inserted, err := ht.InsertUnique(aig.Key(f0, f1), uint32(provisional))
+					if err != nil {
+						panic(err)
+					}
 					if inserted {
 						out.SetFanins(provisional, f0, f1)
 						used[ri]++

@@ -93,6 +93,31 @@ func Check(a, b *aig.AIG, opts Options) (Result, error) {
 	return res, err
 }
 
+// SampleRefute runs only the random-simulation stage as a cheap one-sided
+// gate: it returns (res, true) when the networks are provably inequivalent,
+// and (Result{}, false) when sampling found no mismatch — which is NOT a
+// proof of equivalence. Interface mismatches refute immediately. The flow
+// layer uses this to screen every pass output against its input without
+// paying for a full check.
+func SampleRefute(a, b *aig.AIG, rounds int, seed int64) (Result, bool) {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return Result{Method: "interface", FailingOutput: -1}, true
+	}
+	if a.NumPIs() == 0 {
+		va, vb := evalConst(a), evalConst(b)
+		for i := range va {
+			if va[i] != vb[i] {
+				return Result{Method: "exhaustive", FailingOutput: i}, true
+			}
+		}
+		return Result{}, false
+	}
+	if rounds <= 0 {
+		rounds = 4
+	}
+	return randomRefute(a, b, Options{RandomRounds: rounds, Seed: seed})
+}
+
 // randomRefute simulates both networks on the same random patterns and
 // extracts a counterexample on mismatch.
 func randomRefute(a, b *aig.AIG, opts Options) (Result, bool) {

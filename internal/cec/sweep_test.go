@@ -1,4 +1,4 @@
-package cec
+package cec_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 
 	"aigre/internal/aig"
 	"aigre/internal/bench"
+	"aigre/internal/cec"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
 	"aigre/internal/refactor"
@@ -22,7 +23,7 @@ func TestSweepMultiplierFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	eq, err := Check(a, res.AIG, Options{})
+	eq, err := cec.Check(a, res.AIG, cec.Options{})
 	t.Logf("cec took %v method=%s", time.Since(start), eq.Method)
 	if err != nil || !eq.Equivalent {
 		t.Fatalf("%+v %v", eq, err)
@@ -54,14 +55,14 @@ func TestSweepWidePIEquivalence(t *testing.T) {
 	}
 	d := gpu.New(1)
 	out, _ := refactor.Parallel(d, a, refactor.Options{})
-	res, err := Check(a, out, Options{ExhaustiveLimit: 8}) // force the SAT path
+	res, err := cec.Check(a, out, cec.Options{ExhaustiveLimit: 8}) // force the SAT path
 	if err != nil || !res.Equivalent {
 		t.Fatalf("equivalent pair rejected: %+v %v", res, err)
 	}
 	// Inject a fault: complement one PO.
 	bad := out.Clone()
 	bad.SetPO(1, bad.PO(1).Not())
-	res, err = Check(a, bad, Options{ExhaustiveLimit: 8, RandomRounds: 1})
+	res, err = cec.Check(a, bad, cec.Options{ExhaustiveLimit: 8, RandomRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

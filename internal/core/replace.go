@@ -78,7 +78,11 @@ func ApplyReplacements(d *gpu.Device, a *aig.AIG, reps []Replacement, sequential
 		if deleted[id] && boundary[id] == 0 {
 			return 1
 		}
-		ht.InsertUnique(aig.Key(work.Fanin0(id), work.Fanin1(id)), uint32(id))
+		// A full table aborts the launch as a typed *gpu.LaunchError wrapping
+		// ErrTableFull; the guarded flow layer rolls the pass back.
+		if _, _, err := ht.InsertUnique(aig.Key(work.Fanin0(id), work.Fanin1(id)), uint32(id)); err != nil {
+			panic(err)
+		}
 		return 2
 	})
 	_ = nPIs
@@ -120,7 +124,10 @@ func ApplyReplacements(d *gpu.Device, a *aig.AIG, reps []Replacement, sequential
 				return 2
 			}
 			provisional := firstNew + offsets[tid] + int32(pass)
-			got, inserted := ht.InsertUnique(aig.Key(f0, f1), uint32(provisional))
+			got, inserted, err := ht.InsertUnique(aig.Key(f0, f1), uint32(provisional))
+			if err != nil {
+				panic(err)
+			}
 			if inserted {
 				work.SetFanins(provisional, f0, f1)
 				results[tid][pass] = aig.MakeLit(provisional, false)

@@ -10,6 +10,8 @@
 package dedup
 
 import (
+	"sync/atomic"
+
 	"aigre/internal/aig"
 	"aigre/internal/gpu"
 	"aigre/internal/hashtable"
@@ -21,11 +23,18 @@ type Stats struct {
 	TriviallyReduced int // nodes removed by constant propagation
 	DanglingRemoved  int
 	Levels           int // level batches processed
+	Rehashes         int // hash-table growth events (full-table recovery)
 }
 
 // Run de-duplicates the AIG level-wise in parallel and removes dangling
 // nodes, returning a compacted network.
 func Run(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
+	return run(d, a, a.NumAnds()+16)
+}
+
+// run is Run with an explicit hash-table capacity hint, so tests can start
+// from a deliberately undersized table and exercise the rehash recovery.
+func run(d *gpu.Device, a *aig.AIG, tableCap int) (*aig.AIG, Stats) {
 	var st Stats
 	work := a.Clone()
 	n := work.NumObjs()
@@ -45,7 +54,7 @@ func Run(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 	for i := range remap {
 		remap[i] = aig.MakeLit(int32(i), false)
 	}
-	ht := hashtable.New(work.NumAnds() + 16)
+	ht := hashtable.New(tableCap)
 	merged := make([]int32, len(byLevel))
 	trivial := make([]int32, len(byLevel))
 
@@ -58,26 +67,47 @@ func Run(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 		var mergedHere, trivialHere int32
 		mergedPer := make([]int32, len(batch))
 		trivialPer := make([]int32, len(batch))
-		d.Launch("dedup/level", len(batch), func(tid int) int64 {
-			id := batch[tid]
-			f0 := work.Fanin0(id)
-			f1 := work.Fanin1(id)
-			// Fanins are at lower levels, so their remaps are final.
-			nf0 := remap[f0.Var()].NotCond(f0.IsCompl())
-			nf1 := remap[f1.Var()].NotCond(f1.IsCompl())
-			work.SetFanins(id, nf0, nf1)
-			if lit, ok := aig.SimplifyAnd(nf0, nf1); ok {
-				remap[id] = lit
-				trivialPer[tid] = 1
-				return 2
+		// A full hash table degrades gracefully: the batch is retried after
+		// growing the table (rehashing happens between launches, where
+		// single-threaded access is safe). The kernel is idempotent — fanin
+		// remaps resolve to the same literals on a retry — so re-running a
+		// partially processed batch is sound.
+		for {
+			var full int32
+			d.Launch("dedup/level", len(batch), func(tid int) int64 {
+				id := batch[tid]
+				f0 := work.Fanin0(id)
+				f1 := work.Fanin1(id)
+				// Fanins are at lower levels, so their remaps are final.
+				nf0 := remap[f0.Var()].NotCond(f0.IsCompl())
+				nf1 := remap[f1.Var()].NotCond(f1.IsCompl())
+				work.SetFanins(id, nf0, nf1)
+				if lit, ok := aig.SimplifyAnd(nf0, nf1); ok {
+					remap[id] = lit
+					trivialPer[tid] = 1
+					return 2
+				}
+				got, inserted, err := ht.InsertUnique(aig.Key(nf0, nf1), uint32(id))
+				if err != nil {
+					atomic.StoreInt32(&full, 1)
+					return 3
+				}
+				if !inserted && got != uint32(id) {
+					remap[id] = aig.MakeLit(int32(got), false)
+					mergedPer[tid] = 1
+				}
+				return 3
+			})
+			if atomic.LoadInt32(&full) == 0 {
+				break
 			}
-			got, inserted := ht.InsertUnique(aig.Key(nf0, nf1), uint32(id))
-			if !inserted {
-				remap[id] = aig.MakeLit(int32(got), false)
-				mergedPer[tid] = 1
+			st.Rehashes++
+			ht.Rehash(2*ht.Len() + len(batch))
+			for i := range batch {
+				mergedPer[i] = 0
+				trivialPer[i] = 0
 			}
-			return 3
-		})
+		}
 		for i := range batch {
 			mergedHere += mergedPer[i]
 			trivialHere += trivialPer[i]

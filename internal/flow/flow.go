@@ -60,6 +60,15 @@ type Config struct {
 	// replacements, as rwz/rfz do. Parallel engines always accept zero gain
 	// (Section III-D), so it has no effect in parallel mode.
 	ZeroGain bool
+	// GateRounds is the number of 64-pattern random-simulation rounds used
+	// by the per-command equivalence gate (default 4). Negative disables the
+	// gate (ablation only); the structural invariant check always runs.
+	GateRounds int
+	// Verify upgrades the per-command equivalence gate from sampling to a
+	// full combinational equivalence check (exhaustive simulation or SAT via
+	// internal/cec). This is the CLI -verify flag; it is complete but can be
+	// much slower than the default sampling gate.
+	Verify bool
 }
 
 func (c Config) normalized() Config {
@@ -71,6 +80,9 @@ func (c Config) normalized() Config {
 	}
 	if c.RfPasses == 0 {
 		c.RfPasses = 1
+	}
+	if c.GateRounds == 0 {
+		c.GateRounds = 4
 	}
 	return c
 }
@@ -96,6 +108,11 @@ type Result struct {
 	Timings      []CommandTiming
 	TotalWall    time.Duration
 	TotalModeled time.Duration
+	// Incidents lists every contained failure: commands whose attempt
+	// aborted (kernel panic, full hash table), or whose output failed the
+	// structural invariant check or the equivalence gate, and what the
+	// guarded runner did about it. Empty on a clean run.
+	Incidents []Incident
 }
 
 // Parse splits a script like "b; rw; rfz" into commands, validating names.
@@ -121,6 +138,14 @@ func Parse(script string) ([]string, error) {
 
 // Run executes the script on a copy of the input and returns the optimized
 // AIG with the per-command breakdown.
+//
+// Every command runs guarded: the input AIG serves as a checkpoint (engines
+// never mutate their input), the output must pass the structural invariant
+// check (aig.Check) and the equivalence gate, and a kernel panic aborts only
+// the command. On any of those failures the runner rolls back to the
+// checkpoint and degrades — in parallel mode it retries the command on the
+// sequential engine, otherwise it skips the command — and records an
+// Incident. Run itself returns an error only for scripts Parse rejects.
 func Run(a *aig.AIG, script string, cfg Config) (Result, error) {
 	cmds, err := Parse(script)
 	if err != nil {
@@ -129,52 +154,48 @@ func Run(a *aig.AIG, script string, cfg Config) (Result, error) {
 	cfg = cfg.normalized()
 	cur := a
 	var res Result
-	for _, cmd := range cmds {
-		var t CommandTiming
-		t.Command = cmd
-		if cfg.Parallel {
-			cur, t = runParallel(cur, cmd, cfg)
-		} else {
-			start := time.Now()
-			cur = runSequential(cur, cmd, cfg)
-			t.Wall = time.Since(start)
-			t.Modeled = t.Wall
-		}
-		t.NodesAfter = cur.NumAnds()
-		t.LevelsAfter = cur.Levels()
+	for i, cmd := range cmds {
+		next, t, incs := runGuarded(cur, cmd, i, cfg)
+		res.Incidents = append(res.Incidents, incs...)
+		t.NodesAfter = next.NumAnds()
+		t.LevelsAfter = next.Levels()
 		res.Timings = append(res.Timings, t)
 		res.TotalWall += t.Wall + t.DedupWall
 		res.TotalModeled += t.Modeled + t.DedupModeled
+		cur = next
 	}
 	res.AIG = cur
 	return res, nil
 }
 
-func runSequential(a *aig.AIG, cmd string, cfg Config) *aig.AIG {
+// runSequential executes one command on the sequential engines. Unknown
+// commands are rejected by Parse, so the error return is defense in depth —
+// never a panic, since flow input is user input.
+func runSequential(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, error) {
 	switch cmd {
 	case "b":
 		out, _ := balance.Sequential(a)
-		return out
+		return out, nil
 	case "rw":
 		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: cfg.ZeroGain})
-		return out
+		return out, nil
 	case "rwz":
 		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: true})
-		return out
+		return out, nil
 	case "rf":
 		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: cfg.ZeroGain})
-		return out
+		return out, nil
 	case "rfz":
 		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: true})
-		return out
+		return out, nil
 	case "rs":
 		out, _ := resub.Sequential(a, resub.Options{})
-		return out
+		return out, nil
 	}
-	panic("flow: unreachable command " + cmd)
+	return nil, fmt.Errorf("flow: unknown command %q", cmd)
 }
 
-func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
+func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming, error) {
 	d := cfg.Device
 	t := CommandTiming{Command: cmd}
 	snap := d.Stats()
@@ -202,7 +223,7 @@ func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
 		a, _ = resub.Parallel(d, a, resub.Options{})
 		needDedup = true
 	default:
-		panic("flow: unreachable command " + cmd)
+		return nil, t, fmt.Errorf("flow: unknown command %q", cmd)
 	}
 	t.Wall = time.Since(start)
 	afterCmd := d.Stats()
@@ -214,7 +235,7 @@ func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming) {
 		t.DedupModeled = d.Stats().Sub(afterCmd).ModeledTime
 	}
 	t.Kernels = gpu.DiffProfile(d.Profile(), profSnap)
-	return a, t
+	return a, t, nil
 }
 
 // Breakdown aggregates timings by command kind (b, rw, rf, dedup), the

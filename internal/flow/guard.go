@@ -1,0 +1,185 @@
+// Guarded command execution: checkpoint, validate, roll back, degrade.
+//
+// The paper argues its parallel passes are race-free and equivalence-
+// preserving; this layer is what makes the pipeline survive the cases where
+// that argument fails in practice — a panicking kernel, a full hash table, a
+// structurally corrupt or functionally wrong pass output. Each command runs
+// against an immutable checkpoint (pass engines never mutate their input, so
+// the checkpoint is a plain reference), its output is screened by the
+// structural invariant checker and an equivalence gate, and any failure
+// rolls the AIG back and degrades the command instead of killing the run.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aigre/internal/aig"
+	"aigre/internal/cec"
+	"aigre/internal/gpu"
+)
+
+// Incident records one contained failure during a guarded run.
+type Incident struct {
+	// Index is the position of the failing command in the parsed script.
+	Index int `json:"index"`
+	// Command is the script command that failed ("b", "rf", ...).
+	Command string `json:"command"`
+	// Stage identifies what failed: "launch" (a kernel aborted via
+	// *gpu.LaunchError), "panic" (a non-kernel panic in the engine),
+	// "invariant" (aig.Check rejected the output), or "equivalence" (the
+	// functional gate refuted the output).
+	Stage string `json:"stage"`
+	// Kernel is the failing kernel's name for launch-stage incidents.
+	Kernel string `json:"kernel,omitempty"`
+	// Action is what the runner did: "retried-sequential" (rolled back and
+	// re-ran on the sequential engine) or "skipped" (rolled back and moved
+	// on to the next command).
+	Action string `json:"action"`
+	// Detail is a one-line human-readable description of the failure.
+	Detail string `json:"detail"`
+}
+
+func (inc Incident) String() string {
+	s := fmt.Sprintf("command %d (%s): %s failure, %s", inc.Index, inc.Command, inc.Stage, inc.Action)
+	if inc.Detail != "" {
+		s += ": " + inc.Detail
+	}
+	return s
+}
+
+// gateError marks a validation failure of a structurally intact pass output,
+// carrying which gate rejected it.
+type gateError struct {
+	stage string // "invariant" or "equivalence"
+	err   error
+}
+
+func (e *gateError) Error() string { return "flow: " + e.stage + " gate: " + e.err.Error() }
+func (e *gateError) Unwrap() error { return e.err }
+
+// runGuarded executes one command with checkpoint/rollback semantics and
+// returns the resulting AIG (the checkpoint itself when the command was
+// skipped), the command timing, and any incidents recorded.
+func runGuarded(checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG, CommandTiming, []Incident) {
+	// Deterministic per-command gate seed, so failures reproduce.
+	seed := int64(idx)*7919 + 1
+
+	if cfg.Parallel {
+		out, t, err := attempt(checkpoint, cmd, cfg, true)
+		if err == nil {
+			err = gate(checkpoint, out, cfg, seed)
+		}
+		if err == nil {
+			return out, t, nil
+		}
+		// Roll back and retry on the sequential engine.
+		first := newIncident(idx, cmd, err)
+		first.Action = "retried-sequential"
+		out2, t2, err2 := attempt(checkpoint, cmd, cfg, false)
+		if err2 == nil {
+			err2 = gate(checkpoint, out2, cfg, seed)
+		}
+		if err2 == nil {
+			// The failed parallel attempt's wall time is part of this
+			// command's cost; its modeled time stays zero (the launch was
+			// aborted, not completed).
+			t2.Wall += t.Wall
+			t2.DedupWall += t.DedupWall
+			return out2, t2, []Incident{first}
+		}
+		second := newIncident(idx, cmd, err2)
+		second.Action = "skipped"
+		t.Command = cmd
+		return checkpoint, t, []Incident{first, second}
+	}
+
+	out, t, err := attempt(checkpoint, cmd, cfg, false)
+	if err == nil {
+		err = gate(checkpoint, out, cfg, seed)
+	}
+	if err == nil {
+		return out, t, nil
+	}
+	inc := newIncident(idx, cmd, err)
+	inc.Action = "skipped"
+	t.Command = cmd
+	return checkpoint, t, []Incident{inc}
+}
+
+// attempt runs one engine attempt, containing panics: a *gpu.LaunchError
+// (kernel panic, full hash table surfaced through a kernel) or any other
+// engine panic becomes an error return instead of killing the process.
+func attempt(a *aig.AIG, cmd string, cfg Config, parallel bool) (out *aig.AIG, t CommandTiming, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			t.Command = cmd
+			if le, ok := r.(*gpu.LaunchError); ok {
+				err = le
+				return
+			}
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("flow: engine panic: %w", e)
+				return
+			}
+			err = fmt.Errorf("flow: engine panic: %v", r)
+		}
+	}()
+	if parallel {
+		return runParallel(a, cmd, cfg)
+	}
+	start := time.Now()
+	out, err = runSequential(a, cmd, cfg)
+	t = CommandTiming{Command: cmd, Wall: time.Since(start)}
+	t.Modeled = t.Wall
+	return out, t, err
+}
+
+// gate validates a pass output against its input: structural invariants
+// first (always), then the functional equivalence gate — sampling by
+// default, a full equivalence check when cfg.Verify is set, nothing when
+// GateRounds is negative.
+func gate(before, after *aig.AIG, cfg Config, seed int64) error {
+	if err := aig.Check(after); err != nil {
+		return &gateError{stage: "invariant", err: err}
+	}
+	if cfg.Verify {
+		res, err := cec.Check(before, after, cec.Options{Seed: seed})
+		if err != nil {
+			return &gateError{stage: "equivalence", err: err}
+		}
+		if !res.Equivalent {
+			return &gateError{stage: "equivalence",
+				err: fmt.Errorf("output differs from input on PO %d (%s)", res.FailingOutput, res.Method)}
+		}
+		return nil
+	}
+	if cfg.GateRounds < 0 {
+		return nil
+	}
+	if res, refuted := cec.SampleRefute(before, after, cfg.GateRounds, seed); refuted {
+		return &gateError{stage: "equivalence",
+			err: fmt.Errorf("output differs from input on PO %d (%s)", res.FailingOutput, res.Method)}
+	}
+	return nil
+}
+
+// newIncident classifies an attempt or gate error into an incident record
+// (without an Action, which the caller decides).
+func newIncident(idx int, cmd string, err error) Incident {
+	inc := Incident{Index: idx, Command: cmd, Detail: err.Error()}
+	var le *gpu.LaunchError
+	var ge *gateError
+	switch {
+	case errors.As(err, &le):
+		inc.Stage = "launch"
+		inc.Kernel = le.Kernel
+	case errors.As(err, &ge):
+		inc.Stage = ge.stage
+	default:
+		inc.Stage = "panic"
+	}
+	return inc
+}

@@ -1,0 +1,149 @@
+package flow
+
+import (
+	"testing"
+
+	"aigre/internal/aig"
+	"aigre/internal/cec"
+	"aigre/internal/gpu"
+)
+
+// TestFaultInjectionRecovery drives a deterministic fault into each parallel
+// command's kernels mid-script and asserts the guarantee of the guarded
+// layer: the run completes, the output is equivalent to the input and passes
+// the structural invariants, and the incident is recorded with the command,
+// failing kernel, and action taken.
+func TestFaultInjectionRecovery(t *testing.T) {
+	cases := []struct {
+		name      string
+		script    string
+		plan      gpu.FaultPlan
+		wantCmd   string
+		wantStage string
+	}{
+		{"refactor-kernel-panic", RfResyn,
+			gpu.FaultPlan{Kernel: "refactor/resynth", Nth: 1, Kind: gpu.FaultPanic}, "rf", "launch"},
+		{"balance-kernel-panic", RfResyn,
+			gpu.FaultPlan{Kernel: "balance/insert-pass", Nth: 1, Kind: gpu.FaultPanic}, "b", "launch"},
+		{"rewrite-kernel-panic", "b; rw; rwz; b",
+			gpu.FaultPlan{Kernel: "rewrite/evaluate", Nth: 1, Kind: gpu.FaultPanic}, "rw", "launch"},
+		{"dedup-kernel-panic", RfResyn,
+			gpu.FaultPlan{Kernel: "dedup/level", Nth: 1, Kind: gpu.FaultPanic}, "rf", "launch"},
+		// A lost gather write leaves one subtree with no collected inputs, so
+		// reconstruction rebuilds it as a constant — structurally valid but
+		// functionally wrong, which only the equivalence gate can catch.
+		{"balance-gather-corruption", RfResyn,
+			gpu.FaultPlan{Kernel: "balance/gather", Nth: 1, Kind: gpu.FaultCorrupt}, "b", "equivalence"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := testAIG()
+			d := gpu.New(4)
+			d.InjectFaults(tc.plan)
+			res, err := Run(a, tc.script, Config{Parallel: true, Device: d})
+			if err != nil {
+				t.Fatalf("guarded run failed outright: %v", err)
+			}
+			if d.FaultsArmed() != 0 {
+				t.Fatalf("fault never fired (kernel %q not launched?)", tc.plan.Kernel)
+			}
+			if len(res.Incidents) != 1 {
+				t.Fatalf("incidents = %+v, want exactly 1", res.Incidents)
+			}
+			inc := res.Incidents[0]
+			if inc.Command != tc.wantCmd {
+				t.Errorf("incident command = %q, want %q", inc.Command, tc.wantCmd)
+			}
+			if inc.Stage != tc.wantStage {
+				t.Errorf("incident stage = %q, want %q (%s)", inc.Stage, tc.wantStage, inc)
+			}
+			if inc.Action != "retried-sequential" {
+				t.Errorf("incident action = %q, want retried-sequential", inc.Action)
+			}
+			if tc.wantStage == "launch" && inc.Kernel == "" {
+				t.Errorf("launch incident lacks kernel name: %s", inc)
+			}
+			if err := aig.Check(res.AIG); err != nil {
+				t.Errorf("final output fails invariants: %v", err)
+			}
+			eq, err := cec.Check(a, res.AIG, cec.Options{})
+			if err != nil || !eq.Equivalent {
+				t.Errorf("final output not equivalent to input: %+v %v", eq, err)
+			}
+			if res.AIG.NumAnds() > a.NumAnds() {
+				t.Errorf("degraded run grew the AIG: %d -> %d", a.NumAnds(), res.AIG.NumAnds())
+			}
+		})
+	}
+}
+
+// TestFaultInjectionSequentialMode checks the non-parallel degradation path:
+// with no sequential engine to fall back to, a failing command is skipped
+// and the AIG rolls back to the checkpoint.
+func TestGuardSkipsWhenBothEnginesFail(t *testing.T) {
+	// An unknown command slips past Parse only through runGuarded directly;
+	// both attempts must fail and the checkpoint must come back untouched.
+	a := testAIG()
+	cfg := Config{Parallel: true}.normalized()
+	out, _, incs := runGuarded(a, "frobnicate", 3, cfg)
+	if out != a {
+		t.Errorf("skip did not return the checkpoint")
+	}
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %+v, want 2 (failed attempt + failed retry)", incs)
+	}
+	if incs[0].Action != "retried-sequential" || incs[1].Action != "skipped" {
+		t.Errorf("actions = %q, %q", incs[0].Action, incs[1].Action)
+	}
+	if incs[0].Index != 3 || incs[1].Index != 3 {
+		t.Errorf("incident indices = %d, %d, want 3", incs[0].Index, incs[1].Index)
+	}
+}
+
+// TestRunSequentialUnknownCommandNoPanic pins the former
+// panic("flow: unreachable command") as a plain error return.
+func TestRunSequentialUnknownCommandNoPanic(t *testing.T) {
+	if _, err := runSequential(testAIG(), "frobnicate", Config{}.normalized()); err == nil {
+		t.Error("unknown command did not error")
+	}
+	cfg := Config{Parallel: true}.normalized()
+	if _, _, err := runParallel(testAIG(), "frobnicate", cfg); err == nil {
+		t.Error("unknown parallel command did not error")
+	}
+}
+
+// TestVerifyModeFullCheck runs the opt-in full equivalence gate end to end.
+func TestVerifyModeFullCheck(t *testing.T) {
+	a := testAIG()
+	res, err := Run(a, "b; rf", Config{Parallel: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incidents) != 0 {
+		t.Errorf("clean verified run recorded incidents: %+v", res.Incidents)
+	}
+	eq, err := cec.Check(a, res.AIG, cec.Options{})
+	if err != nil || !eq.Equivalent {
+		t.Fatalf("equivalence: %+v %v", eq, err)
+	}
+}
+
+// TestCheckPassesAfterEveryCommand is the acceptance criterion that every
+// command output in resyn2 and rf_resyn satisfies the structural invariants
+// (the guard would skip a violating command, so a clean incident list plus a
+// command count check proves it).
+func TestCheckPassesAfterEveryCommand(t *testing.T) {
+	for _, script := range []string{Resyn2, RfResyn} {
+		for _, parallel := range []bool{false, true} {
+			a := testAIG()
+			res, err := Run(a, script, Config{Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Incidents) != 0 {
+				t.Errorf("script %q parallel=%v: incidents %+v", script, parallel, res.Incidents)
+			}
+		}
+	}
+}

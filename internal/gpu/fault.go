@@ -1,0 +1,128 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// LaunchError reports a kernel launch that was aborted because one of its
+// logical threads panicked. The panic is recovered on the worker goroutine,
+// the remaining threads of the launch are cancelled, and the error surfaces
+// on the orchestration goroutine through TryLaunch (or, for the infallible
+// Launch wrappers, as a re-panic carrying this typed value so that a guarded
+// caller can recover it without losing the process).
+type LaunchError struct {
+	Kernel string // kernel name passed to Launch
+	Tid    int    // logical thread id whose kernel panicked
+	Value  any    // the recovered panic value
+	Stack  []byte // stack trace of the panicking thread
+}
+
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("gpu: kernel %q: thread %d panicked: %v", e.Kernel, e.Tid, e.Value)
+}
+
+// Unwrap exposes a panic value that is itself an error (for example
+// hashtable.ErrTableFull) to errors.Is / errors.As chains.
+func (e *LaunchError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ErrInjectedFault is the panic value used by FaultPanic injections, so
+// tests can assert that a recovered incident traces back to the injector.
+var ErrInjectedFault = errors.New("gpu: injected fault")
+
+// FaultKind selects what a FaultPlan does to its target launch.
+type FaultKind int
+
+const (
+	// FaultPanic makes thread 0 of the target launch panic with
+	// ErrInjectedFault, exercising the panic-containment path.
+	FaultPanic FaultKind = iota + 1
+	// FaultCorrupt silently skips the last thread of the target launch —
+	// its writes never happen — modeling a lost or corrupted thread. The
+	// launch itself succeeds; downstream invariant and equivalence gates
+	// are expected to catch the damage.
+	FaultCorrupt
+)
+
+// FaultPlan deterministically injects one fault into the Nth kernel launch
+// whose name contains Kernel (substring match). Nth is 1-based; 0 means the
+// first match. Each plan fires at most once. Fault injection is a test
+// facility: plans are installed with Device.InjectFaults and evaluated on
+// the single orchestration goroutine, so the trigger point is exactly
+// reproducible across runs and worker counts.
+type FaultPlan struct {
+	Kernel string
+	Nth    int
+	Kind   FaultKind
+
+	seen int // launches matched so far (internal)
+}
+
+// InjectFaults installs fault plans on the device, replacing any previous
+// plans. Pass no arguments to clear.
+func (d *Device) InjectFaults(plans ...FaultPlan) {
+	d.faults = append([]FaultPlan(nil), plans...)
+}
+
+// FaultsArmed reports how many installed plans have not fired yet.
+func (d *Device) FaultsArmed() int {
+	n := 0
+	for i := range d.faults {
+		nth := d.faults[i].Nth
+		if nth == 0 {
+			nth = 1
+		}
+		if d.faults[i].seen < nth {
+			n++
+		}
+	}
+	return n
+}
+
+// applyFault checks the installed plans against a launch about to run and,
+// when one fires, wraps the kernel accordingly. Called on the orchestration
+// goroutine only.
+func (d *Device) applyFault(name string, n int, kernel func(tid int) int64) func(tid int) int64 {
+	for i := range d.faults {
+		p := &d.faults[i]
+		if p.Kind == 0 || !strings.Contains(name, p.Kernel) {
+			continue
+		}
+		nth := p.Nth
+		if nth == 0 {
+			nth = 1
+		}
+		if p.seen >= nth {
+			continue // already fired
+		}
+		p.seen++
+		if p.seen != nth {
+			continue
+		}
+		inner := kernel
+		switch p.Kind {
+		case FaultPanic:
+			return func(tid int) int64 {
+				if tid == 0 {
+					panic(fmt.Errorf("%w: kernel %q", ErrInjectedFault, name))
+				}
+				return inner(tid)
+			}
+		case FaultCorrupt:
+			last := n - 1
+			return func(tid int) int64 {
+				if tid == last {
+					return 1 // the thread's writes are lost
+				}
+				return inner(tid)
+			}
+		}
+	}
+	return kernel
+}

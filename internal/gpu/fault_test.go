@@ -1,0 +1,170 @@
+package gpu
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTryLaunchRecoversPanic checks that a panicking kernel thread surfaces
+// as a typed *LaunchError instead of killing the process, on both the
+// single-worker fast path and the goroutine pool.
+func TestTryLaunchRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		d := New(workers)
+		err := d.TryLaunch("boom", 1000, func(tid int) int64 {
+			if tid == 17 {
+				panic("kaboom")
+			}
+			return 1
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error returned", workers)
+		}
+		var lerr *LaunchError
+		if !errors.As(err, &lerr) {
+			t.Fatalf("workers=%d: error %T is not *LaunchError", workers, err)
+		}
+		if lerr.Kernel != "boom" || lerr.Tid != 17 || lerr.Value != "kaboom" {
+			t.Errorf("workers=%d: unexpected LaunchError %+v", workers, lerr)
+		}
+		if len(lerr.Stack) == 0 {
+			t.Errorf("workers=%d: LaunchError has no stack", workers)
+		}
+		if !strings.Contains(lerr.Error(), "boom") {
+			t.Errorf("workers=%d: Error() = %q", workers, lerr.Error())
+		}
+	}
+}
+
+// TestLaunchPanicsTyped checks that the infallible Launch re-panics with the
+// typed error so a guarded caller can recover it.
+func TestLaunchPanicsTyped(t *testing.T) {
+	d := New(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Launch did not panic")
+		}
+		if _, ok := r.(*LaunchError); !ok {
+			t.Fatalf("panic value %T is not *LaunchError", r)
+		}
+	}()
+	d.Launch("boom", 4, func(tid int) int64 { panic("x") })
+}
+
+// TestLaunchCancellation checks that a panic stops the launch early: with a
+// large thread count, a panic at tid 0 must leave most threads unexecuted.
+func TestLaunchCancellation(t *testing.T) {
+	d := New(4)
+	const n = 1 << 20
+	var executed int64
+	err := d.TryLaunch("cancel", n, func(tid int) int64 {
+		if tid == 0 {
+			panic("stop")
+		}
+		atomic.AddInt64(&executed, 1)
+		return 1
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := atomic.LoadInt64(&executed); got >= n-1 {
+		t.Errorf("cancellation ineffective: %d of %d threads ran", got, n)
+	}
+}
+
+// TestErrorPanicUnwraps checks that panicking with an error value lets
+// errors.Is see through the LaunchError.
+func TestErrorPanicUnwraps(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	d := New(1)
+	err := d.TryLaunch("wrap", 1, func(tid int) int64 { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is failed to unwrap: %v", err)
+	}
+}
+
+// TestFaultPlanPanic checks deterministic panic injection at the Nth
+// matching launch, firing exactly once.
+func TestFaultPlanPanic(t *testing.T) {
+	d := New(2)
+	d.InjectFaults(FaultPlan{Kernel: "target", Nth: 2, Kind: FaultPanic})
+	ok := func(name string) error {
+		return d.TryLaunch(name, 64, func(tid int) int64 { return 1 })
+	}
+	if err := ok("other/kernel"); err != nil {
+		t.Fatalf("non-matching launch failed: %v", err)
+	}
+	if err := ok("target/a"); err != nil {
+		t.Fatalf("first matching launch failed: %v", err)
+	}
+	err := ok("target/b")
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("second matching launch: want injected fault, got %v", err)
+	}
+	if err := ok("target/c"); err != nil {
+		t.Fatalf("plan fired more than once: %v", err)
+	}
+	if d.FaultsArmed() != 0 {
+		t.Errorf("FaultsArmed = %d after firing", d.FaultsArmed())
+	}
+}
+
+// TestFaultPlanCorrupt checks that corruption skips exactly the last thread
+// of the target launch and the launch still succeeds.
+func TestFaultPlanCorrupt(t *testing.T) {
+	d := New(2)
+	d.InjectFaults(FaultPlan{Kernel: "fill", Kind: FaultCorrupt})
+	const n = 1000
+	out := make([]int32, n)
+	if err := d.TryLaunch1("fill", n, func(tid int) { out[tid] = 1 }); err != nil {
+		t.Fatalf("corrupted launch errored: %v", err)
+	}
+	for i := 0; i < n-1; i++ {
+		if out[i] != 1 {
+			t.Fatalf("thread %d skipped unexpectedly", i)
+		}
+	}
+	if out[n-1] != 0 {
+		t.Errorf("last thread's write survived; corruption not injected")
+	}
+	// Second matching launch runs clean.
+	if err := d.TryLaunch1("fill", n, func(tid int) { out[tid] = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if out[n-1] != 2 {
+		t.Errorf("second launch corrupted too")
+	}
+}
+
+// TestFaultClear checks that InjectFaults with no arguments clears plans.
+func TestFaultClear(t *testing.T) {
+	d := New(1)
+	d.InjectFaults(FaultPlan{Kernel: "x", Kind: FaultPanic})
+	d.InjectFaults()
+	if err := d.TryLaunch("x", 8, func(tid int) int64 { return 1 }); err != nil {
+		t.Fatalf("cleared plan still fired: %v", err)
+	}
+}
+
+// TestAbortedLaunchStillAccounted checks that a failed launch contributes a
+// launch count (and any partial work) to the profile, so incident forensics
+// line up with the profiler.
+func TestAbortedLaunchStillAccounted(t *testing.T) {
+	d := New(1)
+	before := d.Stats().Launches
+	_ = d.TryLaunch("boom", 8, func(tid int) int64 {
+		if tid == 4 {
+			panic("x")
+		}
+		return 1
+	})
+	if got := d.Stats().Launches - before; got != 1 {
+		t.Errorf("aborted launch accounted %d launches, want 1", got)
+	}
+	if d.Stats().Work < 4 {
+		t.Errorf("partial work not accounted: %+v", d.Stats())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,7 @@ type Device struct {
 	workers int
 	stats   Stats
 	profile map[string]*KernelProfile
+	faults  []FaultPlan
 }
 
 // New creates a device backed by the given number of worker goroutines
@@ -151,36 +153,74 @@ func (d *Device) AddOverhead(name string, ops int64) {
 // Threads must not communicate except through the data-race-free structures
 // provided by this repository (disjoint output slots, the concurrent hash
 // table, atomic counters) — run the test suite with -race to validate.
+//
+// A panicking kernel thread does not kill the process outright: the panic is
+// recovered on its worker goroutine, the rest of the launch is cancelled,
+// and Launch re-panics with a typed *LaunchError on the orchestration
+// goroutine so a guarded caller (see package flow) can contain the failure.
+// Use TryLaunch to receive the error as a return value instead.
 func (d *Device) Launch(name string, n int, kernel func(tid int) int64) {
+	if err := d.TryLaunch(name, n, kernel); err != nil {
+		panic(err)
+	}
+}
+
+// TryLaunch is Launch returning a *LaunchError (as error) instead of
+// panicking when a kernel thread panics. Partial work executed before the
+// abort is still accounted to the profile.
+func (d *Device) TryLaunch(name string, n int, kernel func(tid int) int64) error {
 	if n < 0 {
 		panic("gpu: negative thread count")
 	}
+	kernel = d.applyFault(name, n, kernel)
 	start := time.Now()
 	var work, maxOps int64
+	var lerr *LaunchError
 	if n > 0 {
 		if d.workers == 1 {
 			// Fast path: no goroutines, still the same kernel semantics.
 			for tid := 0; tid < n; tid++ {
-				ops := kernel(tid)
+				ops, err := runThread(name, tid, kernel)
+				if err != nil {
+					lerr = err
+					break
+				}
 				work += ops
 				if ops > maxOps {
 					maxOps = ops
 				}
 			}
 		} else {
-			work, maxOps = d.launchParallel(n, kernel)
+			work, maxOps, lerr = d.launchParallel(name, n, kernel)
 		}
 	}
 	modeled := d.Model.LaunchOverhead +
 		time.Duration(work/int64(d.Model.Processors)+maxOps)*d.Model.OpTime
 	d.account(name, 1, int64(n), work, maxOps, modeled, 0, time.Since(start))
+	if lerr != nil {
+		return lerr
+	}
+	return nil
 }
 
-func (d *Device) launchParallel(n int, kernel func(tid int) int64) (work, maxOps int64) {
+// runThread executes one logical thread, converting a kernel panic into a
+// *LaunchError with the thread's stack.
+func runThread(name string, tid int, kernel func(tid int) int64) (ops int64, lerr *LaunchError) {
+	defer func() {
+		if r := recover(); r != nil {
+			lerr = &LaunchError{Kernel: name, Tid: tid, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return kernel(tid), nil
+}
+
+func (d *Device) launchParallel(name string, n int, kernel func(tid int) int64) (work, maxOps int64, lerr *LaunchError) {
 	const chunk = 256
 	var next int64
 	var wg sync.WaitGroup
 	var totalWork, globalMax int64
+	var stop int32          // set when a thread panics; cancels remaining threads
+	var firstErr sync.Mutex // guards lerr (failure path only)
 	workers := d.workers
 	if w := (n + chunk - 1) / chunk; w < workers {
 		workers = w
@@ -190,7 +230,7 @@ func (d *Device) launchParallel(n int, kernel func(tid int) int64) (work, maxOps
 		go func() {
 			defer wg.Done()
 			var localWork, localMax int64
-			for {
+			for atomic.LoadInt32(&stop) == 0 {
 				base := atomic.AddInt64(&next, chunk) - chunk
 				if base >= int64(n) {
 					break
@@ -200,11 +240,23 @@ func (d *Device) launchParallel(n int, kernel func(tid int) int64) (work, maxOps
 					end = int64(n)
 				}
 				for tid := base; tid < end; tid++ {
-					ops := kernel(int(tid))
+					ops, err := runThread(name, int(tid), kernel)
+					if err != nil {
+						atomic.StoreInt32(&stop, 1)
+						firstErr.Lock()
+						if lerr == nil {
+							lerr = err
+						}
+						firstErr.Unlock()
+						break
+					}
 					localWork += ops
 					if ops > localMax {
 						localMax = ops
 					}
+				}
+				if atomic.LoadInt32(&stop) != 0 {
+					break
 				}
 			}
 			atomic.AddInt64(&totalWork, localWork)
@@ -217,12 +269,21 @@ func (d *Device) launchParallel(n int, kernel func(tid int) int64) (work, maxOps
 		}()
 	}
 	wg.Wait()
-	return totalWork, globalMax
+	return totalWork, globalMax, lerr
 }
 
 // Launch1 is Launch with unit per-thread cost.
 func (d *Device) Launch1(name string, n int, kernel func(tid int)) {
 	d.Launch(name, n, func(tid int) int64 {
+		kernel(tid)
+		return 1
+	})
+}
+
+// TryLaunch1 is Launch1 returning a *LaunchError (as error) instead of
+// panicking when a kernel thread panics.
+func (d *Device) TryLaunch1(name string, n int, kernel func(tid int)) error {
+	return d.TryLaunch(name, n, func(tid int) int64 {
 		kernel(tid)
 		return 1
 	})

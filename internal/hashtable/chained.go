@@ -44,8 +44,9 @@ func NewChained(capacity int) *ChainedTable {
 func (t *ChainedTable) Len() int { return int(atomic.LoadInt64(&t.n)) }
 
 // InsertUnique inserts (key, val) if absent; semantics match
-// Table.InsertUnique.
-func (t *ChainedTable) InsertUnique(key uint64, val uint32) (uint32, bool) {
+// Table.InsertUnique, including the ErrTableFull return when the entry pool
+// is exhausted.
+func (t *ChainedTable) InsertUnique(key uint64, val uint32) (uint32, bool, error) {
 	if key == 0 {
 		panic("hashtable: zero key is reserved")
 	}
@@ -53,14 +54,15 @@ func (t *ChainedTable) InsertUnique(key uint64, val uint32) (uint32, bool) {
 	// First scan the existing chain.
 	for e := atomic.LoadInt32(&t.heads[b]); e >= 0; e = atomic.LoadInt32(&t.next[e]) {
 		if atomic.LoadUint64(&t.keys[e]) == key {
-			return atomic.LoadUint32(&t.vals[e]), false
+			return atomic.LoadUint32(&t.vals[e]), false, nil
 		}
 	}
 	// Allocate an entry and publish it at the head; on CAS failure rescan
 	// the newly prepended entries.
 	e := atomic.AddInt64(&t.n, 1) - 1
 	if int(e) >= len(t.keys) {
-		panic("hashtable: chained table full")
+		atomic.AddInt64(&t.n, -1)
+		return InvalidValue, false, ErrTableFull
 	}
 	atomic.StoreUint64(&t.keys[e], key)
 	atomic.StoreUint32(&t.vals[e], val)
@@ -68,12 +70,12 @@ func (t *ChainedTable) InsertUnique(key uint64, val uint32) (uint32, bool) {
 		head := atomic.LoadInt32(&t.heads[b])
 		atomic.StoreInt32(&t.next[e], head)
 		if atomic.CompareAndSwapInt32(&t.heads[b], head, int32(e)) {
-			return val, true
+			return val, true, nil
 		}
 		// Another thread inserted concurrently; check whether it was our key.
 		for f := atomic.LoadInt32(&t.heads[b]); f >= 0 && f != head; f = atomic.LoadInt32(&t.next[f]) {
 			if atomic.LoadUint64(&t.keys[f]) == key {
-				return atomic.LoadUint32(&t.vals[f]), false
+				return atomic.LoadUint32(&t.vals[f]), false, nil
 			}
 		}
 	}

@@ -12,7 +12,7 @@
 package hashtable
 
 import (
-	"fmt"
+	"errors"
 	"sync/atomic"
 
 	"aigre/internal/aig"
@@ -23,6 +23,14 @@ const (
 	emptyKey   = uint64(0)
 	invalidVal = ^uint32(0)
 )
+
+// ErrTableFull is returned by InsertUnique when the table has no free slot
+// left for a new key. Kernel callers propagate it by panicking with the
+// error, which the gpu layer converts into a typed *gpu.LaunchError (the
+// guarded flow layer then rolls the pass back); host callers such as the
+// de-duplication pass recover by rehashing into a larger table. The table
+// reserves one empty slot so that probe loops always terminate, full or not.
+var ErrTableFull = errors.New("hashtable: table full")
 
 // InvalidValue is returned by Query for absent keys. Values equal to
 // InvalidValue must not be inserted.
@@ -73,7 +81,13 @@ func (t *Table) Cap() int { return len(t.keys) }
 // the paper's shareable-node discovery primitive: create a candidate node
 // id, InsertUnique(key, id); if the returned value differs from id, an
 // equivalent node already exists and the candidate should be discarded.
-func (t *Table) InsertUnique(key uint64, val uint32) (uint32, bool) {
+//
+// When the table cannot accommodate a new key it returns ErrTableFull
+// instead of inserting (looking up a key that is already present still
+// succeeds on a full table). Occupancy is reserved atomically before the
+// slot CAS, so concurrent inserts can never fill the final slot: at least
+// one empty slot remains and every probe loop terminates.
+func (t *Table) InsertUnique(key uint64, val uint32) (uint32, bool, error) {
 	if key == emptyKey {
 		panic("hashtable: zero key is reserved")
 	}
@@ -84,19 +98,25 @@ func (t *Table) InsertUnique(key uint64, val uint32) (uint32, bool) {
 	for probes := 0; probes <= len(t.keys); probes++ {
 		k := atomic.LoadUint64(&t.keys[i])
 		if k == emptyKey {
+			// Reserve occupancy before claiming the slot, keeping one slot
+			// permanently empty (atomic full-detection).
+			if atomic.AddInt64(&t.n, 1) >= int64(len(t.keys)) {
+				atomic.AddInt64(&t.n, -1)
+				return invalidVal, false, ErrTableFull
+			}
 			if atomic.CompareAndSwapUint64(&t.keys[i], emptyKey, key) {
 				atomic.StoreUint32(&t.vals[i], val)
-				atomic.AddInt64(&t.n, 1)
-				return val, true
+				return val, true, nil
 			}
+			atomic.AddInt64(&t.n, -1) // lost the slot race; release the claim
 			k = atomic.LoadUint64(&t.keys[i])
 		}
 		if k == key {
-			return t.waitVal(i), false
+			return t.waitVal(i), false, nil
 		}
 		i = (i + 1) & t.mask
 	}
-	panic(fmt.Sprintf("hashtable: table full (%d slots)", len(t.keys)))
+	return invalidVal, false, ErrTableFull
 }
 
 // waitVal spins until the slot's value has been published by the inserting

@@ -1,8 +1,10 @@
 package hashtable
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -11,11 +13,14 @@ import (
 
 func TestInsertQueryBasic(t *testing.T) {
 	ht := New(16)
-	v, ins := ht.InsertUnique(42, 7)
+	v, ins, err := ht.InsertUnique(42, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ins || v != 7 {
 		t.Fatalf("first insert = (%d,%v)", v, ins)
 	}
-	v, ins = ht.InsertUnique(42, 9)
+	v, ins, _ = ht.InsertUnique(42, 9)
 	if ins || v != 7 {
 		t.Fatalf("duplicate insert = (%d,%v), want existing 7", v, ins)
 	}
@@ -79,7 +84,7 @@ func TestConcurrentInsertUniqueWinner(t *testing.T) {
 			defer wg.Done()
 			res := make([]uint32, keys)
 			for k := 1; k <= keys; k++ {
-				v, _ := ht.InsertUnique(uint64(k), uint32(g*keys+k))
+				v, _, _ := ht.InsertUnique(uint64(k), uint32(g*keys+k))
 				res[k-1] = v
 			}
 			results[g] = res
@@ -99,6 +104,96 @@ func TestConcurrentInsertUniqueWinner(t *testing.T) {
 	}
 }
 
+// TestTableFullReturnsError checks the typed degradation path: a table at
+// capacity must return ErrTableFull for new keys (never panic), while
+// lookups of present keys still succeed.
+func TestTableFullReturnsError(t *testing.T) {
+	ht := New(4) // 8 slots; full detection trips at 7 occupied
+	var inserted []uint64
+	var sawFull bool
+	for k := uint64(1); k <= 16; k++ {
+		_, ins, err := ht.InsertUnique(k, uint32(k))
+		if err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawFull = true
+			continue
+		}
+		if ins {
+			inserted = append(inserted, k)
+		}
+	}
+	if !sawFull {
+		t.Fatal("table never reported full")
+	}
+	if len(inserted) != ht.Cap()-1 {
+		t.Errorf("inserted %d keys into %d slots, want %d (one reserved empty)",
+			len(inserted), ht.Cap(), ht.Cap()-1)
+	}
+	// Present keys still resolve on the full table, via Query and via
+	// InsertUnique's lookup path.
+	for _, k := range inserted {
+		if v, ok := ht.Query(k); !ok || v != uint32(k) {
+			t.Fatalf("key %d lost on full table", k)
+		}
+		if v, ins, err := ht.InsertUnique(k, 999); err != nil || ins || v != uint32(k) {
+			t.Fatalf("present-key insert on full table = (%d,%v,%v)", v, ins, err)
+		}
+	}
+	// Rehash recovers: after growing, new keys insert again.
+	ht.Rehash(64)
+	if _, ins, err := ht.InsertUnique(1000, 1); err != nil || !ins {
+		t.Fatalf("insert after rehash = (%v,%v)", ins, err)
+	}
+}
+
+// TestConcurrentFullDetection races many goroutines against a tiny table:
+// no panic, at least one ErrTableFull, and one slot stays reserved.
+func TestConcurrentFullDetection(t *testing.T) {
+	ht := New(8) // 16 slots
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var fulls int64
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= 64; k++ {
+				_, _, err := ht.InsertUnique(uint64(g*64+k), uint32(k))
+				if err != nil {
+					atomic.AddInt64(&fulls, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fulls == 0 {
+		t.Error("no ErrTableFull under concurrent overflow")
+	}
+	if ht.Len() >= ht.Cap() {
+		t.Errorf("occupancy %d reached capacity %d; reserved slot lost", ht.Len(), ht.Cap())
+	}
+}
+
+func TestChainedTableFullReturnsError(t *testing.T) {
+	ct := NewChained(4)
+	var sawFull bool
+	for k := uint64(1); k <= 16; k++ {
+		_, _, err := ct.InsertUnique(k, uint32(k))
+		if err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("chained table never reported full")
+	}
+}
+
 func TestDumpMatchesContents(t *testing.T) {
 	ht := New(256)
 	rng := rand.New(rand.NewSource(2))
@@ -106,7 +201,7 @@ func TestDumpMatchesContents(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		k := uint64(rng.Intn(500) + 1)
 		v := uint32(rng.Intn(1000))
-		got, ins := ht.InsertUnique(k, v)
+		got, ins, _ := ht.InsertUnique(k, v)
 		if ins {
 			want[k] = v
 		} else if want[k] != got {
@@ -153,7 +248,7 @@ func TestQuickTableMatchesMap(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			k := uint64(rng.Intn(200) + 1)
 			v := uint32(rng.Intn(1 << 20))
-			got, ins := ht.InsertUnique(k, v)
+			got, ins, _ := ht.InsertUnique(k, v)
 			if prev, ok := ref[k]; ok {
 				if ins || got != prev {
 					return false
@@ -179,11 +274,11 @@ func TestQuickTableMatchesMap(t *testing.T) {
 
 func TestChainedBasic(t *testing.T) {
 	ct := NewChained(128)
-	v, ins := ct.InsertUnique(10, 3)
+	v, ins, _ := ct.InsertUnique(10, 3)
 	if !ins || v != 3 {
 		t.Fatalf("insert = (%d,%v)", v, ins)
 	}
-	v, ins = ct.InsertUnique(10, 5)
+	v, ins, _ = ct.InsertUnique(10, 5)
 	if ins || v != 3 {
 		t.Fatalf("dup insert = (%d,%v)", v, ins)
 	}
@@ -208,7 +303,7 @@ func TestChainedConcurrent(t *testing.T) {
 			defer wg.Done()
 			res := make([]uint32, keys)
 			for k := 1; k <= keys; k++ {
-				v, _ := ct.InsertUnique(uint64(k), uint32(g*keys+k))
+				v, _, _ := ct.InsertUnique(uint64(k), uint32(g*keys+k))
 				res[k-1] = v
 			}
 			results[g] = res

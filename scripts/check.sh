@@ -1,9 +1,15 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, and the full test suite under the race
-# detector. Run from anywhere; `make check` is an alias.
+# Tier-1 verification: build, vet (findings fail the run), the full test
+# suite under the race detector — which includes the fault-injection and
+# rollback tests of internal/gpu and internal/flow — and a short fuzz smoke
+# of the AIGER parser. Run from anywhere; `make check` is an alias.
 set -eu
 cd "$(dirname "$0")/.."
 set -x
 go build ./...
 go vet ./...
 go test -race ./...
+# Fault-injection / recovery paths, explicitly, under -race.
+go test -race -run 'Fault|Guard|TableFull' ./internal/gpu/ ./internal/flow/ ./internal/hashtable/
+# Fuzz smoke: the AIGER parser must never panic on arbitrary input.
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
