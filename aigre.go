@@ -14,12 +14,20 @@
 // Quick start:
 //
 //	n, _ := aigre.ReadFile("design.aig")
-//	res, _ := n.Resyn2(aigre.Options{Parallel: true})
+//	res, _ := n.Resyn2(context.Background(), aigre.Options{Parallel: true})
 //	fmt.Println(res.AIG.Stats())
 //	res.AIG.WriteFile("design_opt.aig")
+//
+// Every optimization entry point takes a context.Context first; cancelling
+// it aborts the run between kernel launches and commands, returning the
+// partial Result together with an error wrapping ctx.Err(). RunBatch (see
+// batch.go) runs many networks concurrently over one shared, bounded worker
+// budget.
 package aigre
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -125,10 +133,28 @@ func New(numPIs int) *Network {
 }
 
 // FromInternal wraps an internal AIG (used by the cmd/ tools and tests).
+//
+// Unstable escape hatch: the internal/aig representation changes without
+// notice between versions and FromInternal performs no validation — a
+// malformed AIG breaks the Network invariants silently. Use Read/ReadFile
+// or the construction API (New, AddAnd, AddPO, ...) instead; call Check to
+// validate a wrapped AIG.
 func FromInternal(a *aig.AIG) *Network { return &Network{aig: a} }
 
 // Internal exposes the underlying AIG (for cmd/ tools and experiments).
+//
+// Unstable escape hatch: the returned value aliases the Network's state
+// (mutating it bypasses every invariant this package maintains) and its
+// type belongs to an internal package that changes without notice. Prefer
+// the Network methods; call Check after any direct manipulation.
 func (n *Network) Internal() *aig.AIG { return n.aig }
+
+// Check validates the network's structural invariants — acyclicity, fanin
+// bounds, structural-hash and fanout-count consistency, PO validity —
+// without reaching into internals. It is the validation companion of the
+// Internal/FromInternal escape hatches; a Network built through the public
+// construction and I/O APIs always passes.
+func (n *Network) Check() error { return aig.Check(n.aig) }
 
 // Literal is a signal: a node with optional complementation.
 type Literal = aig.Lit
@@ -233,121 +259,173 @@ func (o Options) passes() int {
 	return o.Passes
 }
 
-// Balance runs AND-balancing (delay optimization, Section IV).
-func (n *Network) Balance(opts Options) (Result, error) {
+// algo describes one single-algorithm entry point for runAlgo: the two
+// engines, the pass count, and whether parallel mode appends the Section
+// III-F cleanup pass. A nil sequential engine means the algorithm always
+// runs on the device (Dedup).
+type algo struct {
+	parallel   func(d *gpu.Device, a *aig.AIG) *aig.AIG
+	sequential func(a *aig.AIG) *aig.AIG
+	passes     int
+	cleanup    bool
+}
+
+// runAlgo is the shared body of Balance, Refactor, Rewrite, Resub, and
+// Dedup: device wiring, pass repetition, the parallel cleanup pass, and
+// wall/modeled/profile result assembly live here once.
+//
+// Engine failures are propagated, not swallowed: a kernel abort (surfacing
+// as a *gpu.LaunchError panic from the unguarded engines) is returned as an
+// error alongside the partial Result, and ctx cancellation — checked
+// between passes and, on the device, at every kernel-launch boundary —
+// returns ctx.Err() wrapped in the partial Result. Unlike Run, these
+// single-algorithm entry points have no checkpoint/rollback/retry layer;
+// use Run for guarded execution.
+func (n *Network) runAlgo(ctx context.Context, opts Options, al algo) (res Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	var out *aig.AIG
-	var modeled time.Duration
-	var profile []gpu.KernelProfile
-	if opts.Parallel {
-		d := opts.device()
-		out, _ = balance.Parallel(d, n.aig)
-		modeled = d.Stats().ModeledTime
-		profile = d.Profile()
-	} else {
-		out, _ = balance.Sequential(n.aig)
+	parallel := opts.Parallel || al.sequential == nil
+	var d *gpu.Device
+	if parallel {
+		d = opts.device()
+		d.Bind(ctx)
 	}
-	wall := time.Since(start)
-	if !opts.Parallel {
-		modeled = wall
+	cur := n.aig
+	finish := func(e error) (Result, error) {
+		wall := time.Since(start)
+		r := Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: wall}
+		if parallel {
+			r.Modeled = d.Stats().ModeledTime
+			r.Profile = d.Profile()
+		}
+		return r, e
 	}
-	return Result{AIG: &Network{aig: out}, Wall: wall, Modeled: modeled, Profile: profile}, nil
+	defer func() {
+		if r := recover(); r != nil {
+			e := engineError(r)
+			if e == nil {
+				panic(r) // not an engine failure: a bug, don't mask it
+			}
+			res, err = finish(e)
+		}
+	}()
+	passes := al.passes
+	if passes <= 0 {
+		passes = 1
+	}
+	for p := 0; p < passes; p++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return finish(fmt.Errorf("aigre: cancelled after %d of %d passes: %w", p, passes, cerr))
+		}
+		if parallel {
+			cur = al.parallel(d, cur)
+		} else {
+			cur = al.sequential(cur)
+		}
+	}
+	if parallel && al.cleanup {
+		cur, _ = dedup.Run(d, cur)
+	}
+	return finish(nil)
+}
+
+// engineError classifies a panic recovered from an engine call: typed
+// kernel failures and launch cancellations become error returns; anything
+// else yields nil so the caller re-panics.
+func engineError(r any) error {
+	e, ok := r.(error)
+	if !ok {
+		return nil
+	}
+	var le *gpu.LaunchError
+	var ce *gpu.CancelledError
+	if errors.As(e, &le) || errors.As(e, &ce) {
+		return e
+	}
+	return nil
+}
+
+// Balance runs AND-balancing (delay optimization, Section IV).
+func (n *Network) Balance(ctx context.Context, opts Options) (Result, error) {
+	return n.runAlgo(ctx, opts, algo{
+		parallel:   func(d *gpu.Device, a *aig.AIG) *aig.AIG { out, _ := balance.Parallel(d, a); return out },
+		sequential: func(a *aig.AIG) *aig.AIG { out, _ := balance.Sequential(a); return out },
+	})
 }
 
 // Refactor runs refactoring (Section III). In parallel mode the cleanup
 // pass (Section III-F) is included.
-func (n *Network) Refactor(opts Options) (Result, error) {
-	start := time.Now()
-	cur := n.aig
-	var modeled time.Duration
-	var profile []gpu.KernelProfile
-	if opts.Parallel {
-		d := opts.device()
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = refactor.Parallel(d, cur, refactor.Options{MaxCut: opts.MaxCut})
-		}
-		cur, _ = dedup.Run(d, cur)
-		modeled = d.Stats().ModeledTime
-		profile = d.Profile()
-	} else {
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = refactor.Sequential(cur, refactor.Options{MaxCut: opts.MaxCut, ZeroGain: opts.ZeroGain})
-		}
-	}
-	wall := time.Since(start)
-	if !opts.Parallel {
-		modeled = wall
-	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
+func (n *Network) Refactor(ctx context.Context, opts Options) (Result, error) {
+	return n.runAlgo(ctx, opts, algo{
+		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG {
+			out, _ := refactor.Parallel(d, a, refactor.Options{MaxCut: opts.MaxCut})
+			return out
+		},
+		sequential: func(a *aig.AIG) *aig.AIG {
+			out, _ := refactor.Sequential(a, refactor.Options{MaxCut: opts.MaxCut, ZeroGain: opts.ZeroGain})
+			return out
+		},
+		passes:  opts.passes(),
+		cleanup: true,
+	})
 }
 
 // Rewrite runs rewriting. In parallel mode this follows [9] (parallel
 // evaluation, sequential replacement) plus the cleanup pass.
-func (n *Network) Rewrite(opts Options) (Result, error) {
-	start := time.Now()
-	cur := n.aig
-	var modeled time.Duration
-	var profile []gpu.KernelProfile
-	if opts.Parallel {
-		d := opts.device()
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = rewrite.Parallel(d, cur, rewrite.Options{ZeroGain: opts.ZeroGain})
-		}
-		cur, _ = dedup.Run(d, cur)
-		modeled = d.Stats().ModeledTime
-		profile = d.Profile()
-	} else {
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = rewrite.Sequential(cur, rewrite.Options{ZeroGain: opts.ZeroGain})
-		}
-	}
-	wall := time.Since(start)
-	if !opts.Parallel {
-		modeled = wall
-	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
+func (n *Network) Rewrite(ctx context.Context, opts Options) (Result, error) {
+	return n.runAlgo(ctx, opts, algo{
+		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG {
+			out, _ := rewrite.Parallel(d, a, rewrite.Options{ZeroGain: opts.ZeroGain})
+			return out
+		},
+		sequential: func(a *aig.AIG) *aig.AIG {
+			out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: opts.ZeroGain})
+			return out
+		},
+		passes:  opts.passes(),
+		cleanup: true,
+	})
 }
 
 // Resub runs resubstitution (the paper's future-work algorithm): nodes are
 // re-expressed as functions of existing divisors. In parallel mode the
 // divisor search for all nodes runs on the device.
-func (n *Network) Resub(opts Options) (Result, error) {
-	start := time.Now()
-	cur := n.aig
-	var modeled time.Duration
-	var profile []gpu.KernelProfile
-	if opts.Parallel {
-		d := opts.device()
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = resub.Parallel(d, cur, resub.Options{})
-		}
-		cur, _ = dedup.Run(d, cur)
-		modeled = d.Stats().ModeledTime
-		profile = d.Profile()
-	} else {
-		for p := 0; p < opts.passes(); p++ {
-			cur, _ = resub.Sequential(cur, resub.Options{})
-		}
-	}
-	wall := time.Since(start)
-	if !opts.Parallel {
-		modeled = wall
-	}
-	return Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: modeled, Profile: profile}, nil
+func (n *Network) Resub(ctx context.Context, opts Options) (Result, error) {
+	return n.runAlgo(ctx, opts, algo{
+		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG {
+			out, _ := resub.Parallel(d, a, resub.Options{})
+			return out
+		},
+		sequential: func(a *aig.AIG) *aig.AIG {
+			out, _ := resub.Sequential(a, resub.Options{})
+			return out
+		},
+		passes:  opts.passes(),
+		cleanup: true,
+	})
 }
 
-// Dedup runs the de-duplication and dangling-node cleanup pass alone.
-func (n *Network) Dedup(opts Options) (Result, error) {
-	start := time.Now()
-	d := opts.device()
-	out, _ := dedup.Run(d, n.aig)
-	return Result{AIG: &Network{aig: out}, Wall: time.Since(start),
-		Modeled: d.Stats().ModeledTime, Profile: d.Profile()}, nil
+// Dedup runs the de-duplication and dangling-node cleanup pass alone. It
+// always executes on the device (the pass has no sequential variant).
+func (n *Network) Dedup(ctx context.Context, opts Options) (Result, error) {
+	return n.runAlgo(ctx, opts, algo{
+		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG { out, _ := dedup.Run(d, a); return out },
+	})
 }
 
 // Run executes a command script such as "b; rw; rfz" (see package flow for
-// the vocabulary).
-func (n *Network) Run(script string, opts Options) (Result, error) {
+// the vocabulary) under the guarded runner: every command is checkpointed,
+// validated, and degraded on failure (Result.Incidents lists containments).
+//
+// Cancelling ctx aborts the script between kernel launches and commands;
+// the partial Result (network and timings after the last completed command)
+// is returned together with an error wrapping ctx.Err().
+func (n *Network) Run(ctx context.Context, script string, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := flow.Config{
 		Parallel:   opts.Parallel,
 		MaxCut:     opts.MaxCut,
@@ -361,41 +439,40 @@ func (n *Network) Run(script string, opts Options) (Result, error) {
 		cfg.Device = opts.device()
 	}
 	start := time.Now()
-	res, err := flow.Run(n.aig, script, cfg)
-	if err != nil {
-		return Result{}, err
-	}
+	res, err := flow.Run(ctx, n.aig, script, cfg)
 	out := Result{
-		AIG:       &Network{aig: res.AIG},
 		Wall:      time.Since(start),
 		Modeled:   res.TotalModeled,
 		Timings:   res.Timings,
 		Incidents: res.Incidents,
 	}
+	if res.AIG != nil {
+		out.AIG = &Network{aig: res.AIG}
+	}
 	if cfg.Device != nil {
 		out.Profile = cfg.Device.Profile()
 	}
-	return out, nil
+	return out, err
 }
 
 // Resyn2 runs the resyn2 sequence (b; rw; rf; b; rw; rwz; b; rfz; rwz; b).
 // In parallel mode rwz runs two rewriting passes, matching the paper.
-func (n *Network) Resyn2(opts Options) (Result, error) {
+func (n *Network) Resyn2(ctx context.Context, opts Options) (Result, error) {
 	if opts.RwzPasses == 0 {
 		opts.RwzPasses = 2
 	}
-	return n.Run(flow.Resyn2, opts)
+	return n.Run(ctx, flow.Resyn2, opts)
 }
 
 // RfResyn runs the paper's rf_resyn sequence (b; rf; rfz; b; rfz; b).
-func (n *Network) RfResyn(opts Options) (Result, error) {
-	return n.Run(flow.RfResyn, opts)
+func (n *Network) RfResyn(ctx context.Context, opts Options) (Result, error) {
+	return n.Run(ctx, flow.RfResyn, opts)
 }
 
 // CompressRS runs a compress2rs-style sequence that interleaves
 // resubstitution with balancing, rewriting and refactoring.
-func (n *Network) CompressRS(opts Options) (Result, error) {
-	return n.Run(flow.CompressRS, opts)
+func (n *Network) CompressRS(ctx context.Context, opts Options) (Result, error) {
+	return n.Run(ctx, flow.CompressRS, opts)
 }
 
 // EquivalentTo checks combinational equivalence against another network

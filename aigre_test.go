@@ -2,6 +2,7 @@ package aigre_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -46,13 +47,23 @@ func TestPublicAPIOptimizations(t *testing.T) {
 	n := buildAPICircuit(t)
 	for _, parallel := range []bool{false, true} {
 		for name, run := range map[string]func() (aigre.Result, error){
-			"balance":  func() (aigre.Result, error) { return n.Balance(aigre.Options{Parallel: parallel}) },
-			"refactor": func() (aigre.Result, error) { return n.Refactor(aigre.Options{Parallel: parallel, Passes: 2}) },
-			"rewrite":  func() (aigre.Result, error) { return n.Rewrite(aigre.Options{Parallel: parallel}) },
-			"resyn2":   func() (aigre.Result, error) { return n.Resyn2(aigre.Options{Parallel: parallel}) },
-			"rf_resyn": func() (aigre.Result, error) { return n.RfResyn(aigre.Options{Parallel: parallel}) },
-			"resub":    func() (aigre.Result, error) { return n.Resub(aigre.Options{Parallel: parallel}) },
-			"compress": func() (aigre.Result, error) { return n.CompressRS(aigre.Options{Parallel: parallel}) },
+			"balance": func() (aigre.Result, error) {
+				return n.Balance(context.Background(), aigre.Options{Parallel: parallel})
+			},
+			"refactor": func() (aigre.Result, error) {
+				return n.Refactor(context.Background(), aigre.Options{Parallel: parallel, Passes: 2})
+			},
+			"rewrite": func() (aigre.Result, error) {
+				return n.Rewrite(context.Background(), aigre.Options{Parallel: parallel})
+			},
+			"resyn2": func() (aigre.Result, error) { return n.Resyn2(context.Background(), aigre.Options{Parallel: parallel}) },
+			"rf_resyn": func() (aigre.Result, error) {
+				return n.RfResyn(context.Background(), aigre.Options{Parallel: parallel})
+			},
+			"resub": func() (aigre.Result, error) { return n.Resub(context.Background(), aigre.Options{Parallel: parallel}) },
+			"compress": func() (aigre.Result, error) {
+				return n.CompressRS(context.Background(), aigre.Options{Parallel: parallel})
+			},
 		} {
 			res, err := run()
 			if err != nil {
@@ -71,11 +82,11 @@ func TestPublicAPIOptimizations(t *testing.T) {
 
 func TestPublicAPIBalanceLevelsAgree(t *testing.T) {
 	n := aigre.FromInternal(bench.Sin(12))
-	seq, err := n.Balance(aigre.Options{})
+	seq, err := n.Balance(context.Background(), aigre.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := n.Balance(aigre.Options{Parallel: true})
+	par, err := n.Balance(context.Background(), aigre.Options{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,21 +129,21 @@ func TestPublicAPIAIGERRoundTrip(t *testing.T) {
 
 func TestPublicAPIRunScript(t *testing.T) {
 	n := buildAPICircuit(t)
-	res, err := n.Run("b; rfz; b", aigre.Options{Parallel: true})
+	res, err := n.Run(context.Background(), "b; rfz; b", aigre.Options{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Timings) != 3 {
 		t.Errorf("timings = %d", len(res.Timings))
 	}
-	if _, err := n.Run("b; bogus", aigre.Options{}); err == nil {
+	if _, err := n.Run(context.Background(), "b; bogus", aigre.Options{}); err == nil {
 		t.Error("invalid script accepted")
 	}
 }
 
 func TestPublicAPIDedup(t *testing.T) {
 	n := buildAPICircuit(t)
-	res, err := n.Dedup(aigre.Options{})
+	res, err := n.Dedup(context.Background(), aigre.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,179 @@
+package aigre
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aigre/internal/flow"
+	"aigre/internal/sched"
+)
+
+// Script presets for Batch.Script and the -batch manifest, mirroring the
+// single-network entry points Resyn2, RfResyn, and CompressRS.
+const (
+	// ScriptResyn2 is ABC's resyn2 sequence.
+	ScriptResyn2 = flow.Resyn2
+	// ScriptRfResyn is the paper's rf_resyn sequence.
+	ScriptRfResyn = flow.RfResyn
+	// ScriptCompressRS is the compress2rs-style resubstitution sequence.
+	ScriptCompressRS = flow.CompressRS
+)
+
+// Batch is one job in a RunBatch call: a network and the script to run on
+// it. The input network is not mutated.
+type Batch struct {
+	// Name labels the job in the report (default: the network name).
+	Name string
+	// AIG is the input network.
+	AIG *Network
+	// Script is the command script, e.g. ScriptResyn2 or "b; rw; rfz".
+	Script string
+	// Priority orders admission when more jobs are queued than may run at
+	// once: higher starts first, ties in submission order.
+	Priority int
+	// Workers caps how many pool workers a single kernel launch of this job
+	// may occupy (0 = the whole pool). The shared budget bounds total
+	// concurrency regardless.
+	Workers int
+	// Options selects engine parameters for this job. Options.Workers is
+	// ignored (the pool is shared; use Batch.Workers for the lease cap) and
+	// Options.FaultPlans is ignored (leased devices share the pool, so
+	// per-job fault plans are not supported).
+	Options Options
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers is the shared pool budget: the total number of host worker
+	// goroutines serving every job's kernel launches (0 = GOMAXPROCS). At no
+	// point do the jobs together occupy more than this many workers.
+	Workers int
+	// MaxConcurrentJobs bounds how many jobs are in flight at once
+	// (0 = Workers). The pool already bounds host parallelism; this knob
+	// bounds memory held by in-flight networks.
+	MaxConcurrentJobs int
+}
+
+// BatchResult reports one job of a batch.
+type BatchResult struct {
+	Name   string
+	Script string
+	// AIG is the optimized network; on a cancelled job the partial result
+	// (after the last completed command), nil only if the script failed to
+	// parse.
+	AIG *Network
+	// Err is nil on success, wraps ctx.Err() on cancellation, or reports a
+	// script error. Contained engine failures appear in Incidents, not Err.
+	Err error
+	// Cancelled reports that Err traces back to context cancellation.
+	Cancelled bool
+
+	Queued  time.Duration // submission -> start
+	Wall    time.Duration // start -> finish, host time
+	Modeled time.Duration // modeled device time (parallel jobs)
+
+	NodesBefore, LevelsBefore int
+	NodesAfter, LevelsAfter   int
+
+	Timings   []flow.CommandTiming
+	Incidents []flow.Incident
+}
+
+// BatchMetrics aggregates fleet statistics of one RunBatch call.
+type BatchMetrics struct {
+	// Workers is the shared pool budget W.
+	Workers int
+	// Finished, Failed, and Cancelled partition the jobs.
+	Finished, Failed, Cancelled int
+	// PeakWorkers is the observed host-concurrency high-water mark; the
+	// shared-budget invariant keeps it at or below Workers.
+	PeakWorkers int
+	// PeakQueueDepth is the deepest the admission queue got.
+	PeakQueueDepth int
+	// Wall spans first submission to last completion; JobWall sums per-job
+	// host time (their ratio is the job-level concurrency); Modeled sums the
+	// jobs' modeled device time.
+	Wall, JobWall, Modeled time.Duration
+	// Utilization is the fraction of the worker budget kept busy executing
+	// kernel bodies: busy-time / (Wall * Workers).
+	Utilization float64
+}
+
+// RunBatch optimizes many networks concurrently over one shared, bounded
+// worker budget: opts.Workers host goroutines serve the kernel launches of
+// every job, so N jobs never use more host parallelism than one job with
+// that many workers would.
+//
+// Results come back in job order. A failing or cancelled job never fails
+// the batch — its BatchResult carries the error. Cancelling ctx cancels the
+// whole batch: running jobs stop at the next kernel-launch boundary and
+// queued jobs return immediately, all marked Cancelled.
+//
+// The call errors only on a malformed batch: no jobs, a nil network, or a
+// script that does not parse.
+func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResult, BatchMetrics, error) {
+	if len(jobs) == 0 {
+		return nil, BatchMetrics{}, fmt.Errorf("aigre: empty batch")
+	}
+	sjobs := make([]sched.Job, len(jobs))
+	for i, b := range jobs {
+		if b.AIG == nil {
+			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s) has no network", i, b.Name)
+		}
+		if _, err := flow.Parse(b.Script); err != nil {
+			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s): %w", i, b.Name, err)
+		}
+		o := b.Options
+		if o.RwzPasses == 0 && b.Script == flow.Resyn2 {
+			o.RwzPasses = 2 // match Resyn2's paper default
+		}
+		sjobs[i] = sched.Job{
+			Name:     b.Name,
+			AIG:      b.AIG.aig,
+			Script:   b.Script,
+			Priority: b.Priority,
+			Workers:  b.Workers,
+			Config: flow.Config{
+				Parallel:   o.Parallel,
+				MaxCut:     o.MaxCut,
+				RwzPasses:  o.RwzPasses,
+				RfPasses:   o.Passes,
+				ZeroGain:   o.ZeroGain,
+				Verify:     o.Verify,
+				GateRounds: o.GateRounds,
+			},
+		}
+	}
+	pool := sched.NewPool(opts.Workers)
+	defer pool.Close()
+	results, m := sched.RunJobs(ctx, pool, sjobs, opts.MaxConcurrentJobs)
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		br := BatchResult{
+			Name: r.Name, Script: r.Script,
+			Err: r.Err, Cancelled: r.Cancelled,
+			Queued: r.Queued, Wall: r.Wall, Modeled: r.Modeled,
+			NodesBefore: r.NodesBefore, LevelsBefore: r.LevelsBefore,
+			NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
+			Timings: r.Timings, Incidents: r.Incidents,
+		}
+		if r.AIG != nil {
+			br.AIG = &Network{aig: r.AIG}
+		}
+		out[i] = br
+	}
+	bm := BatchMetrics{
+		Workers:        m.Workers,
+		Finished:       m.Finished,
+		Failed:         m.Failed,
+		Cancelled:      m.Cancelled,
+		PeakWorkers:    m.PeakWorkers,
+		PeakQueueDepth: m.PeakQueueDepth,
+		Wall:           m.Wall,
+		JobWall:        m.JobWall,
+		Modeled:        m.Modeled,
+		Utilization:    m.Utilization(),
+	}
+	return out, bm, nil
+}

@@ -15,6 +15,7 @@
 package aigre_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -134,7 +135,7 @@ func benchSequence(b *testing.B, script string, parallel bool, rwzPasses int) {
 		if parallel {
 			cfg.Device = gpu.New(0)
 		}
-		if _, err := flow.Run(a, script, cfg); err != nil {
+		if _, err := flow.Run(context.Background(), a, script, cfg); err != nil {
 			b.Fatal(err)
 		}
 		if parallel {
@@ -162,7 +163,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 			var total gpu.Stats
 			for i := 0; i < b.N; i++ {
 				cfg := flow.Config{Parallel: true, Device: gpu.New(0)}
-				if _, err := flow.Run(a, flow.RfResyn, cfg); err != nil {
+				if _, err := flow.Run(context.Background(), a, flow.RfResyn, cfg); err != nil {
 					b.Fatal(err)
 				}
 				total.Add(cfg.Device.Stats())
@@ -178,7 +179,7 @@ func BenchmarkFig8Breakdown(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := flow.Config{Parallel: true, Device: gpu.New(0), RwzPasses: 2}
-		res, err := flow.Run(a, flow.Resyn2, cfg)
+		res, err := flow.Run(context.Background(), a, flow.Resyn2, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -234,7 +235,7 @@ func BenchmarkPublicAPIResyn2(b *testing.B) {
 	n := aigre.FromInternal(benchCase(b))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.Resyn2(aigre.Options{Parallel: true}); err != nil {
+		if _, err := n.Resyn2(context.Background(), aigre.Options{Parallel: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

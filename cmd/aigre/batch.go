@@ -1,0 +1,203 @@
+// Batch mode: run a manifest of (input, script) jobs concurrently over one
+// shared worker budget via aigre.RunBatch, write the optimized outputs, and
+// emit a JSON fleet report.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"aigre"
+	"aigre/internal/flow"
+)
+
+// parseManifest reads a batch manifest: one job per line,
+//
+//	input.aig [@priority] script
+//
+// where script is a preset name (resyn2, rf_resyn, compress2rs) or an
+// inline command sequence like "b; rw; rfz" (the rest of the line). Blank
+// lines and #-comments are skipped.
+func parseManifest(path string, opts aigre.Options) ([]aigre.Batch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var jobs []aigre.Batch
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want \"input.aig [@priority] script\", got %q", path, lineno, line)
+		}
+		input := fields[0]
+		rest := fields[1:]
+		priority := 0
+		if strings.HasPrefix(rest[0], "@") {
+			priority, err = strconv.Atoi(rest[0][1:])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad priority %q", path, lineno, rest[0])
+			}
+			rest = rest[1:]
+			if len(rest) == 0 {
+				return nil, fmt.Errorf("%s:%d: missing script after priority", path, lineno)
+			}
+		}
+		script := strings.Join(rest, " ")
+		switch script {
+		case "resyn2":
+			script = aigre.ScriptResyn2
+		case "rf_resyn":
+			script = aigre.ScriptRfResyn
+		case "compress2rs":
+			script = aigre.ScriptCompressRS
+		}
+		if _, err := flow.Parse(script); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineno, err)
+		}
+		n, err := aigre.ReadFile(input)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineno, err)
+		}
+		jobs = append(jobs, aigre.Batch{
+			Name:     strings.TrimSuffix(filepath.Base(input), filepath.Ext(input)),
+			AIG:      n,
+			Script:   script,
+			Priority: priority,
+			Options:  opts,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// batchReport is the JSON schema of -report.
+type batchReport struct {
+	Workers        int              `json:"workers"`
+	Finished       int              `json:"finished"`
+	Failed         int              `json:"failed"`
+	Cancelled      int              `json:"cancelled"`
+	PeakWorkers    int              `json:"peak_workers"`
+	PeakQueueDepth int              `json:"peak_queue_depth"`
+	WallNS         time.Duration    `json:"wall_ns"`
+	JobWallNS      time.Duration    `json:"job_wall_ns"`
+	ModeledNS      time.Duration    `json:"modeled_ns"`
+	Utilization    float64          `json:"utilization"`
+	Jobs           []batchJobReport `json:"jobs"`
+}
+
+type batchJobReport struct {
+	Name        string          `json:"name"`
+	Script      string          `json:"script"`
+	Error       string          `json:"error,omitempty"`
+	Cancelled   bool            `json:"cancelled,omitempty"`
+	QueuedNS    time.Duration   `json:"queued_ns"`
+	WallNS      time.Duration   `json:"wall_ns"`
+	ModeledNS   time.Duration   `json:"modeled_ns"`
+	NodesBefore int             `json:"nodes_before"`
+	NodesAfter  int             `json:"nodes_after"`
+	LevelsAfter int             `json:"levels_after"`
+	Output      string          `json:"output,omitempty"`
+	Incidents   []flow.Incident `json:"incidents,omitempty"`
+}
+
+// runBatch is the -batch entry point; it returns the process exit code.
+func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers, maxJobs int, opts aigre.Options) int {
+	msg := os.Stdout
+	if reportPath == "-" {
+		msg = os.Stderr
+	}
+	jobs, err := parseManifest(manifest, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigre:", err)
+		return 2
+	}
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "aigre:", err)
+			return 1
+		}
+	}
+	results, m, err := aigre.RunBatch(ctx, jobs, aigre.BatchOptions{Workers: workers, MaxConcurrentJobs: maxJobs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigre:", err)
+		return 1
+	}
+	rep := batchReport{
+		Workers:        m.Workers,
+		Finished:       m.Finished,
+		Failed:         m.Failed,
+		Cancelled:      m.Cancelled,
+		PeakWorkers:    m.PeakWorkers,
+		PeakQueueDepth: m.PeakQueueDepth,
+		WallNS:         m.Wall,
+		JobWallNS:      m.JobWall,
+		ModeledNS:      m.Modeled,
+		Utilization:    m.Utilization,
+	}
+	exit := 0
+	for _, r := range results {
+		jr := batchJobReport{
+			Name: r.Name, Script: r.Script, Cancelled: r.Cancelled,
+			QueuedNS: r.Queued, WallNS: r.Wall, ModeledNS: r.Modeled,
+			NodesBefore: r.NodesBefore, NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
+			Incidents: r.Incidents,
+		}
+		switch {
+		case r.Err != nil:
+			jr.Error = r.Err.Error()
+			status := "FAILED"
+			if r.Cancelled {
+				status = "cancelled"
+			}
+			fmt.Fprintf(msg, "%-16s %s: %v\n", r.Name, status, r.Err)
+			exit = 1
+		default:
+			fmt.Fprintf(msg, "%-16s and %6d -> %6d  lev %4d  wall=%-12v queued=%v\n",
+				r.Name, r.NodesBefore, r.NodesAfter, r.LevelsAfter, r.Wall, r.Queued)
+		}
+		if outdir != "" && r.Err == nil && r.AIG != nil {
+			out := filepath.Join(outdir, r.Name+".aig")
+			if err := r.AIG.WriteFile(out); err != nil {
+				fmt.Fprintln(os.Stderr, "aigre:", err)
+				exit = 1
+			} else {
+				jr.Output = out
+			}
+		}
+		rep.Jobs = append(rep.Jobs, jr)
+	}
+	fmt.Fprintf(msg, "batch:   %d jobs (%d ok, %d failed, %d cancelled)  workers=%d peak=%d util=%.0f%%  wall=%v\n",
+		len(results), m.Finished, m.Failed, m.Cancelled, m.Workers, m.PeakWorkers, 100*m.Utilization, m.Wall)
+	if reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigre:", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if reportPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(reportPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aigre:", err)
+			return 1
+		}
+	}
+	return exit
+}

@@ -1,15 +1,18 @@
 // Command aigre is a small ABC-like driver: it reads an AIGER file, runs an
 // optimization script in sequential (ABC-style) or parallel (GPU-model)
 // mode, prints statistics, and optionally writes the result and checks
-// equivalence.
+// equivalence. With -batch it instead runs a whole manifest of jobs
+// concurrently over one shared worker budget.
 //
 // Usage:
 //
 //	aigre -in design.aig -script "b; rw; rf; b" -parallel -out opt.aig
 //	aigre -in design.aig -resyn2 -cec
+//	aigre -batch jobs.txt -parallel -workers 8 -outdir opt/ -report report.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,7 +28,12 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input AIGER file (required)")
+		in       = flag.String("in", "", "input AIGER file (required unless -batch)")
+		batch    = flag.String("batch", "", "batch manifest file: one \"input.aig [@priority] script\" per line")
+		outdir   = flag.String("outdir", "", "directory for batch outputs (default: none written)")
+		report   = flag.String("report", "", "write the batch report as JSON to this file (\"-\" = stdout)")
+		maxJobs  = flag.Int("max-jobs", 0, "max concurrently running batch jobs (0 = workers)")
+		timeout  = flag.Duration("timeout", 0, "overall run deadline, e.g. 30s (0 = none)")
 		out      = flag.String("out", "", "output AIGER file (optional; .aag = ASCII)")
 		script   = flag.String("script", "", "optimization script, e.g. \"b; rw; rfz\"")
 		resyn2   = flag.Bool("resyn2", false, "run the resyn2 sequence")
@@ -44,17 +52,33 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-command statistics")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "aigre: -in is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "aigre: -workers must be >= 0 (got %d)\n", *workers)
 		os.Exit(2)
 	}
 	if *passes < 0 {
 		fmt.Fprintf(os.Stderr, "aigre: -passes must be >= 0 (got %d)\n", *passes)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *batch != "" {
+		opts := aigre.Options{
+			Parallel: *parallel,
+			MaxCut:   *maxCut,
+			Passes:   *passes,
+			ZeroGain: *zeroGain,
+			Verify:   *verify,
+		}
+		os.Exit(runBatch(ctx, *batch, *outdir, *report, *workers, *maxJobs, opts))
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "aigre: -in is required (or -batch)")
+		flag.Usage()
 		os.Exit(2)
 	}
 	// With -profile-json - the JSON report owns stdout; status lines move to
@@ -108,7 +132,7 @@ func main() {
 		if *resyn2 {
 			opts.RwzPasses = 2
 		}
-		res, err := cur.Run(s, opts)
+		res, err := cur.Run(ctx, s, opts)
 		fatal(err)
 		cur = res.AIG
 		if *verbose {

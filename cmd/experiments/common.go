@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"aigre/internal/cec"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
+	"aigre/internal/sched"
 )
 
 // suiteCases returns the benchmark list honoring -quick.
@@ -29,8 +31,15 @@ func suiteCases() []bench.Case {
 	return out
 }
 
-// device builds a fresh simulated device.
-func device() *gpu.Device { return gpu.New(*workersFlag) }
+// pool is the shared host worker budget behind every experiment; main
+// creates it after flag parsing and closes it on exit. All devices — the
+// direct leases below and those of engine-scheduled jobs — draw their
+// kernel-launch parallelism from this one bounded pool.
+var pool *sched.Pool
+
+// device leases a fresh simulated device from the shared pool. Stats and
+// profile are per-lease, so concurrent callers do not mix measurements.
+func device() *gpu.Device { return pool.Lease(0) }
 
 // verify optionally equivalence-checks an optimization result.
 func verify(name string, in, out *aig.AIG) {
@@ -60,7 +69,7 @@ func reportIncidents(name string, incs []flow.Incident) {
 // runSeqScript times a sequential (ABC-style) script.
 func runSeqScript(a *aig.AIG, script string) (*aig.AIG, time.Duration) {
 	start := time.Now()
-	res, err := flow.Run(a, script, flow.Config{})
+	res, err := flow.Run(context.Background(), a, script, flow.Config{})
 	if err != nil {
 		panic(err)
 	}
@@ -68,26 +77,50 @@ func runSeqScript(a *aig.AIG, script string) (*aig.AIG, time.Duration) {
 	return res.AIG, time.Since(start)
 }
 
-// runParScript runs a parallel script on a fresh device, returning the
+// parJob describes one parallel script run for the batch engine.
+type parJob struct {
+	a                   *aig.AIG
+	script              string
+	rwzPasses, rfPasses int
+}
+
+// runParJobs runs parallel scripts through the scheduling engine over the
+// shared pool — all jobs at once when concurrent, one at a time otherwise
+// (timing-sensitive experiments need exclusive use of the worker budget) —
+// and returns the per-job results in submission order.
+func runParJobs(jobs []parJob, concurrent bool) []sched.Result {
+	sjobs := make([]sched.Job, len(jobs))
+	for i, j := range jobs {
+		sjobs[i] = sched.Job{
+			Name:   j.a.Name,
+			AIG:    j.a,
+			Script: j.script,
+			Config: flow.Config{Parallel: true, RwzPasses: j.rwzPasses, RfPasses: j.rfPasses},
+		}
+	}
+	maxConcurrent := 0
+	if !concurrent {
+		maxConcurrent = 1
+	}
+	results, _ := sched.RunJobs(context.Background(), pool, sjobs, maxConcurrent)
+	for _, r := range results {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		reportIncidents(r.Name, r.Incidents)
+		if *profileFlag {
+			fmt.Printf("  per-kernel device profile (%s, %d workers):\n", r.Name, pool.Workers())
+			fmt.Print(gpu.FormatProfile(r.Profile))
+		}
+	}
+	return results
+}
+
+// runParScript runs one parallel script on a leased device, returning the
 // result, host wall time, modeled device time and the timings.
 func runParScript(a *aig.AIG, script string, rwzPasses, rfPasses int) (*aig.AIG, time.Duration, time.Duration, []flow.CommandTiming) {
-	d := device()
-	start := time.Now()
-	res, err := flow.Run(a, script, flow.Config{
-		Parallel:  true,
-		Device:    d,
-		RwzPasses: rwzPasses,
-		RfPasses:  rfPasses,
-	})
-	if err != nil {
-		panic(err)
-	}
-	reportIncidents(a.Name, res.Incidents)
-	if *profileFlag {
-		fmt.Printf("  per-kernel device profile (%s, %d workers):\n", a.Name, d.Workers())
-		fmt.Print(gpu.FormatProfile(d.Profile()))
-	}
-	return res.AIG, time.Since(start), d.Stats().ModeledTime, res.Timings
+	r := runParJobs([]parJob{{a, script, rwzPasses, rfPasses}}, false)[0]
+	return r.AIG, r.Wall, r.Modeled, r.Timings
 }
 
 // geo accumulates a geometric mean.

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"aigre/internal/sched"
 )
 
 var (
@@ -34,6 +36,8 @@ var (
 func main() {
 	exp := flag.String("experiment", "all", "table1|table2|table3|fig7|fig8|ablations|all")
 	flag.Parse()
+	pool = sched.NewPool(*workersFlag)
+	defer pool.Close()
 	run := func(name string, fn func()) {
 		fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
 		fn()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 			if parallel && seq.name == "resyn2" {
 				opts.RwzPasses = 2 // the paper's GPU resyn2 setting
 			}
-			res, err := n.Run(seq.script, opts)
+			res, err := n.Run(context.Background(), seq.script, opts)
 			if err != nil {
 				log.Fatal(err)
 			}

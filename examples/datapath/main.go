@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,8 +45,8 @@ func main() {
 
 		// Delay optimization: sequential and parallel balancing give the
 		// same levels (the paper's Property 3).
-		seqB, _ := n.Balance(aigre.Options{})
-		parB, _ := n.Balance(aigre.Options{Parallel: true})
+		seqB, _ := n.Balance(context.Background(), aigre.Options{})
+		parB, _ := n.Balance(context.Background(), aigre.Options{Parallel: true})
 		fmt.Printf("  balance levels: sequential %d, parallel %d (must match)\n",
 			seqB.AIG.Stats().Levels, parB.AIG.Stats().Levels)
 		if seqB.AIG.Stats().Levels != parB.AIG.Stats().Levels {
@@ -53,7 +54,7 @@ func main() {
 		}
 
 		// Area optimization: two passes of parallel refactoring.
-		rf, _ := n.Refactor(aigre.Options{Parallel: true, Passes: 2})
+		rf, _ := n.Refactor(context.Background(), aigre.Options{Parallel: true, Passes: 2})
 		fmt.Printf("  refactor:  %d -> %d nodes (modeled device time %v)\n",
 			n.Stats().Nodes, rf.AIG.Stats().Nodes, rf.Modeled)
 

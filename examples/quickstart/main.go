@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,7 +49,7 @@ func main() {
 	fmt.Println("original: ", n.Stats())
 
 	// Run the paper's fully parallel resyn2 sequence.
-	res, err := n.Resyn2(aigre.Options{Parallel: true})
+	res, err := n.Resyn2(context.Background(), aigre.Options{Parallel: true})
 	if err != nil {
 		log.Fatal(err)
 	}

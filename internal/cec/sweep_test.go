@@ -1,6 +1,7 @@
 package cec_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ import (
 // dissolves it in about a millisecond.
 func TestSweepMultiplierFlow(t *testing.T) {
 	a, _ := bench.ByName("sin", 1)
-	res, err := flow.Run(a, flow.RfResyn, flow.Config{Parallel: true})
+	res, err := flow.Run(context.Background(), a, flow.RfResyn, flow.Config{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}

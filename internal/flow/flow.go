@@ -11,6 +11,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -145,17 +146,37 @@ func Parse(script string) ([]string, error) {
 // the command. On any of those failures the runner rolls back to the
 // checkpoint and degrades — in parallel mode it retries the command on the
 // sequential engine, otherwise it skips the command — and records an
-// Incident. Run itself returns an error only for scripts Parse rejects.
-func Run(a *aig.AIG, script string, cfg Config) (Result, error) {
+// Incident.
+//
+// ctx cancels the run: between commands, and (in parallel mode, where ctx
+// is bound to the device) at every kernel-launch boundary. A cancelled Run
+// returns the partial Result — the network after the last completed
+// command, with that prefix's timings — alongside an error wrapping
+// ctx.Err(). The only other error cause is a script Parse rejects.
+func Run(ctx context.Context, a *aig.AIG, script string, cfg Config) (Result, error) {
 	cmds, err := Parse(script)
 	if err != nil {
 		return Result{}, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.normalized()
+	if cfg.Device != nil {
+		cfg.Device.Bind(ctx)
+	}
 	cur := a
 	var res Result
 	for i, cmd := range cmds {
-		next, t, incs := runGuarded(cur, cmd, i, cfg)
+		if cerr := ctx.Err(); cerr != nil {
+			res.AIG = cur
+			return res, fmt.Errorf("flow: script cancelled before command %d (%s): %w", i, cmd, cerr)
+		}
+		next, t, incs, err := runGuarded(ctx, cur, cmd, i, cfg)
+		if err != nil {
+			res.AIG = cur
+			return res, err
+		}
 		res.Incidents = append(res.Incidents, incs...)
 		t.NodesAfter = next.NumAnds()
 		t.LevelsAfter = next.Levels()

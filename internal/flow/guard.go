@@ -11,6 +11,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -62,7 +63,12 @@ func (e *gateError) Unwrap() error { return e.err }
 // runGuarded executes one command with checkpoint/rollback semantics and
 // returns the resulting AIG (the checkpoint itself when the command was
 // skipped), the command timing, and any incidents recorded.
-func runGuarded(checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG, CommandTiming, []Incident) {
+//
+// Cancellation is not a fault: when an attempt fails because ctx was
+// cancelled (the device refuses further kernel launches), the runner does
+// not degrade to the sequential engine — it returns the checkpoint and an
+// error wrapping ctx.Err() so the caller can stop the script.
+func runGuarded(ctx context.Context, checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG, CommandTiming, []Incident, error) {
 	// Deterministic per-command gate seed, so failures reproduce.
 	seed := int64(idx)*7919 + 1
 
@@ -72,7 +78,10 @@ func runGuarded(checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG,
 			err = gate(checkpoint, out, cfg, seed)
 		}
 		if err == nil {
-			return out, t, nil
+			return out, t, nil, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return checkpoint, t, nil, cancelErr(idx, cmd, cerr)
 		}
 		// Roll back and retry on the sequential engine.
 		first := newIncident(idx, cmd, err)
@@ -87,12 +96,12 @@ func runGuarded(checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG,
 			// aborted, not completed).
 			t2.Wall += t.Wall
 			t2.DedupWall += t.DedupWall
-			return out2, t2, []Incident{first}
+			return out2, t2, []Incident{first}, nil
 		}
 		second := newIncident(idx, cmd, err2)
 		second.Action = "skipped"
 		t.Command = cmd
-		return checkpoint, t, []Incident{first, second}
+		return checkpoint, t, []Incident{first, second}, nil
 	}
 
 	out, t, err := attempt(checkpoint, cmd, cfg, false)
@@ -100,12 +109,20 @@ func runGuarded(checkpoint *aig.AIG, cmd string, idx int, cfg Config) (*aig.AIG,
 		err = gate(checkpoint, out, cfg, seed)
 	}
 	if err == nil {
-		return out, t, nil
+		return out, t, nil, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return checkpoint, t, nil, cancelErr(idx, cmd, cerr)
 	}
 	inc := newIncident(idx, cmd, err)
 	inc.Action = "skipped"
 	t.Command = cmd
-	return checkpoint, t, []Incident{inc}
+	return checkpoint, t, []Incident{inc}, nil
+}
+
+// cancelErr wraps a context error with the command position it interrupted.
+func cancelErr(idx int, cmd string, cerr error) error {
+	return fmt.Errorf("flow: command %d (%s) cancelled: %w", idx, cmd, cerr)
 }
 
 // attempt runs one engine attempt, containing panics: a *gpu.LaunchError
@@ -118,6 +135,10 @@ func attempt(a *aig.AIG, cmd string, cfg Config, parallel bool) (out *aig.AIG, t
 			t.Command = cmd
 			if le, ok := r.(*gpu.LaunchError); ok {
 				err = le
+				return
+			}
+			if ce, ok := r.(*gpu.CancelledError); ok {
+				err = ce
 				return
 			}
 			if e, ok := r.(error); ok {

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"aigre/internal/aig"
@@ -41,7 +42,7 @@ func TestFaultInjectionRecovery(t *testing.T) {
 			a := testAIG()
 			d := gpu.New(4)
 			d.InjectFaults(tc.plan)
-			res, err := Run(a, tc.script, Config{Parallel: true, Device: d})
+			res, err := Run(context.Background(), a, tc.script, Config{Parallel: true, Device: d})
 			if err != nil {
 				t.Fatalf("guarded run failed outright: %v", err)
 			}
@@ -86,7 +87,10 @@ func TestGuardSkipsWhenBothEnginesFail(t *testing.T) {
 	// both attempts must fail and the checkpoint must come back untouched.
 	a := testAIG()
 	cfg := Config{Parallel: true}.normalized()
-	out, _, incs := runGuarded(a, "frobnicate", 3, cfg)
+	out, _, incs, err := runGuarded(context.Background(), a, "frobnicate", 3, cfg)
+	if err != nil {
+		t.Fatalf("non-cancellation failure surfaced as an error: %v", err)
+	}
 	if out != a {
 		t.Errorf("skip did not return the checkpoint")
 	}
@@ -116,7 +120,7 @@ func TestRunSequentialUnknownCommandNoPanic(t *testing.T) {
 // TestVerifyModeFullCheck runs the opt-in full equivalence gate end to end.
 func TestVerifyModeFullCheck(t *testing.T) {
 	a := testAIG()
-	res, err := Run(a, "b; rf", Config{Parallel: true, Verify: true})
+	res, err := Run(context.Background(), a, "b; rf", Config{Parallel: true, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +141,7 @@ func TestCheckPassesAfterEveryCommand(t *testing.T) {
 	for _, script := range []string{Resyn2, RfResyn} {
 		for _, parallel := range []bool{false, true} {
 			a := testAIG()
-			res, err := Run(a, script, Config{Parallel: parallel})
+			res, err := Run(context.Background(), a, script, Config{Parallel: parallel})
 			if err != nil {
 				t.Fatal(err)
 			}

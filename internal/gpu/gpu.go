@@ -14,6 +14,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -110,9 +111,23 @@ type Device struct {
 	// predictable branch per launch (see BenchmarkLaunchOverhead).
 	Trace   func(TraceEvent)
 	workers int
+	exec    Executor        // nil = spawn goroutines per launch; else a shared pool
+	ctx     context.Context // nil = never cancelled; checked at launch boundaries
 	stats   Stats
 	profile map[string]*KernelProfile
 	faults  []FaultPlan
+}
+
+// Executor runs the host worker bodies of a kernel launch on behalf of a
+// device. An implementation typically multiplexes many devices over one
+// bounded goroutine pool (see internal/sched.Pool), so that N concurrent
+// jobs share a fixed host worker budget instead of oversubscribing the
+// machine N-fold. Execute must run every task to completion before
+// returning — it is the device barrier — and tasks of one call are
+// independent (they never block on each other), so running them with any
+// degree of concurrency, including sequentially, is correct.
+type Executor interface {
+	Execute(tasks []func())
 }
 
 // New creates a device backed by the given number of worker goroutines
@@ -123,6 +138,40 @@ func New(workers int) *Device {
 	}
 	return &Device{Model: DefaultModel, workers: workers}
 }
+
+// NewLeased creates a device whose kernel launches draw host workers from
+// exec instead of spawning private goroutines: a capped sub-device leased
+// from a shared pool. workers bounds the worker bodies submitted per launch
+// (the lease size; minimum 1). The leased device keeps its own Stats and
+// per-kernel profile, so per-job accounting is unchanged.
+func NewLeased(workers int, exec Executor) *Device {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Device{Model: DefaultModel, workers: workers, exec: exec}
+}
+
+// Bind attaches a cancellation context to the device. Every subsequent
+// Launch/TryLaunch checks it first and refuses to start when the context is
+// done, returning (or panicking with, for the infallible wrappers) a
+// *CancelledError that wraps ctx.Err(). A nil ctx removes the binding.
+// Bind must be called from the orchestration goroutine, like Launch.
+func (d *Device) Bind(ctx context.Context) { d.ctx = ctx }
+
+// CancelledError reports a kernel launch refused because the context bound
+// to the device (Device.Bind) was cancelled. Unwrap exposes the context
+// error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work as expected.
+type CancelledError struct {
+	Kernel string // kernel name passed to Launch
+	Err    error  // the context error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("gpu: kernel %q: launch cancelled: %v", e.Kernel, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // Workers returns the number of host worker goroutines.
 func (d *Device) Workers() int { return d.workers }
@@ -172,13 +221,20 @@ func (d *Device) TryLaunch(name string, n int, kernel func(tid int) int64) error
 	if n < 0 {
 		panic("gpu: negative thread count")
 	}
+	if d.ctx != nil {
+		if err := d.ctx.Err(); err != nil {
+			return &CancelledError{Kernel: name, Err: err}
+		}
+	}
 	kernel = d.applyFault(name, n, kernel)
 	start := time.Now()
 	var work, maxOps int64
 	var lerr *LaunchError
 	if n > 0 {
-		if d.workers == 1 {
+		if d.workers == 1 && d.exec == nil {
 			// Fast path: no goroutines, still the same kernel semantics.
+			// Leased devices skip it so their work always runs on (and is
+			// bounded by) the shared pool.
 			for tid := 0; tid < n; tid++ {
 				ops, err := runThread(name, tid, kernel)
 				if err != nil {
@@ -217,7 +273,6 @@ func runThread(name string, tid int, kernel func(tid int) int64) (ops int64, ler
 func (d *Device) launchParallel(name string, n int, kernel func(tid int) int64) (work, maxOps int64, lerr *LaunchError) {
 	const chunk = 256
 	var next int64
-	var wg sync.WaitGroup
 	var totalWork, globalMax int64
 	var stop int32          // set when a thread panics; cancels remaining threads
 	var firstErr sync.Mutex // guards lerr (failure path only)
@@ -225,50 +280,64 @@ func (d *Device) launchParallel(name string, n int, kernel func(tid int) int64) 
 	if w := (n + chunk - 1) / chunk; w < workers {
 		workers = w
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			var localWork, localMax int64
-			for atomic.LoadInt32(&stop) == 0 {
-				base := atomic.AddInt64(&next, chunk) - chunk
-				if base >= int64(n) {
+	body := func() {
+		var localWork, localMax int64
+		for atomic.LoadInt32(&stop) == 0 {
+			base := atomic.AddInt64(&next, chunk) - chunk
+			if base >= int64(n) {
+				break
+			}
+			end := base + chunk
+			if end > int64(n) {
+				end = int64(n)
+			}
+			for tid := base; tid < end; tid++ {
+				ops, err := runThread(name, int(tid), kernel)
+				if err != nil {
+					atomic.StoreInt32(&stop, 1)
+					firstErr.Lock()
+					if lerr == nil {
+						lerr = err
+					}
+					firstErr.Unlock()
 					break
 				}
-				end := base + chunk
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for tid := base; tid < end; tid++ {
-					ops, err := runThread(name, int(tid), kernel)
-					if err != nil {
-						atomic.StoreInt32(&stop, 1)
-						firstErr.Lock()
-						if lerr == nil {
-							lerr = err
-						}
-						firstErr.Unlock()
-						break
-					}
-					localWork += ops
-					if ops > localMax {
-						localMax = ops
-					}
-				}
-				if atomic.LoadInt32(&stop) != 0 {
-					break
+				localWork += ops
+				if ops > localMax {
+					localMax = ops
 				}
 			}
-			atomic.AddInt64(&totalWork, localWork)
-			for {
-				cur := atomic.LoadInt64(&globalMax)
-				if localMax <= cur || atomic.CompareAndSwapInt64(&globalMax, cur, localMax) {
-					break
-				}
+			if atomic.LoadInt32(&stop) != 0 {
+				break
 			}
-		}()
+		}
+		atomic.AddInt64(&totalWork, localWork)
+		for {
+			cur := atomic.LoadInt64(&globalMax)
+			if localMax <= cur || atomic.CompareAndSwapInt64(&globalMax, cur, localMax) {
+				break
+			}
+		}
 	}
-	wg.Wait()
+	if d.exec != nil {
+		// Leased device: the worker bodies run on the shared pool, which
+		// bounds host concurrency across all devices leased from it.
+		tasks := make([]func(), workers)
+		for i := range tasks {
+			tasks[i] = body
+		}
+		d.exec.Execute(tasks)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		wg.Wait()
+	}
 	return totalWork, globalMax, lerr
 }
 

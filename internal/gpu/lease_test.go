@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// inlineExec is a minimal Executor that runs every task body itself,
+// counting calls — a stand-in for the scheduler's worker pool.
+type inlineExec struct {
+	mu    sync.Mutex
+	calls int
+	tasks int
+}
+
+func (e *inlineExec) Execute(tasks []func()) {
+	e.mu.Lock()
+	e.calls++
+	e.tasks += len(tasks)
+	e.mu.Unlock()
+	for _, fn := range tasks {
+		fn()
+	}
+}
+
+// TestLeasedDeviceRoutesThroughExecutor checks that a leased device sends
+// every launch's worker bodies to the executor (never spawning its own
+// goroutines) while keeping full Device semantics: thread coverage, stats,
+// and per-kernel profile.
+func TestLeasedDeviceRoutesThroughExecutor(t *testing.T) {
+	exec := &inlineExec{}
+	d := NewLeased(3, exec)
+	if d.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", d.Workers())
+	}
+	const n = 1000
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	d.Launch("lease-test", n, func(tid int) int64 {
+		mu.Lock()
+		seen[tid] = true
+		mu.Unlock()
+		return 1
+	})
+	for tid, ok := range seen {
+		if !ok {
+			t.Fatalf("thread %d never ran", tid)
+		}
+	}
+	if exec.calls != 1 || exec.tasks != 3 {
+		t.Errorf("executor saw %d calls / %d tasks, want 1 / 3", exec.calls, exec.tasks)
+	}
+	if s := d.Stats(); s.Launches != 1 || s.Work != n {
+		t.Errorf("stats = %+v, want 1 launch of %d work", s, int64(n))
+	}
+	if p := d.Profile(); len(p) != 1 || p[0].Kernel != "lease-test" {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+// TestBindRefusesLaunchesAfterCancel checks the kernel-launch cancellation
+// boundary: once the bound context is done, TryLaunch returns a typed
+// *CancelledError wrapping the context error without running any thread,
+// and Launch panics with the same value.
+func TestBindRefusesLaunchesAfterCancel(t *testing.T) {
+	d := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.Bind(ctx)
+
+	if err := d.TryLaunch("before", 8, func(int) int64 { return 1 }); err != nil {
+		t.Fatalf("launch before cancel failed: %v", err)
+	}
+
+	cancel()
+	ran := false
+	err := d.TryLaunch("after", 8, func(int) int64 { ran = true; return 1 })
+	if err == nil {
+		t.Fatal("launch after cancel succeeded")
+	}
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *CancelledError", err, err)
+	}
+	if ce.Kernel != "after" {
+		t.Errorf("kernel = %q, want \"after\"", ce.Kernel)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v does not unwrap to context.Canceled", err)
+	}
+	if ran {
+		t.Error("kernel body ran despite cancellation")
+	}
+	if s := d.Stats(); s.Launches != 1 {
+		t.Errorf("refused launch was counted: %+v", s)
+	}
+
+	func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(*CancelledError); !ok {
+				t.Errorf("Launch panicked with %T %v, want *CancelledError", r, r)
+			}
+		}()
+		d.Launch("after-panic", 8, func(int) int64 { return 1 })
+	}()
+
+	// Rebinding to a live context lifts the refusal.
+	d.Bind(context.Background())
+	if err := d.TryLaunch("rebound", 8, func(int) int64 { return 1 }); err != nil {
+		t.Fatalf("launch after rebind failed: %v", err)
+	}
+}

@@ -1,0 +1,365 @@
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aigre/internal/aig"
+	"aigre/internal/flow"
+	"aigre/internal/gpu"
+)
+
+// Job is one batch-optimization request: run Script over AIG under Config.
+// The input AIG is never mutated (pass engines clone before editing).
+type Job struct {
+	// Name labels the job in results and reports (default: the AIG name).
+	Name string
+	// AIG is the input network.
+	AIG *aig.AIG
+	// Script is the flow command script, e.g. flow.Resyn2.
+	Script string
+	// Priority orders admission: higher-priority jobs start first.
+	// Ties run in submission order.
+	Priority int
+	// Workers caps the job's device lease: how many pool workers one kernel
+	// launch of this job may occupy (0 = the whole pool). The cap shapes
+	// scheduling fairness, not the budget — the pool bounds total
+	// concurrency regardless.
+	Workers int
+	// Config selects execution mode and engine options. Config.Device is
+	// ignored: parallel jobs always run on a device leased from the
+	// engine's pool.
+	Config flow.Config
+}
+
+// Result reports one finished job.
+type Result struct {
+	Name   string
+	Script string
+	// AIG is the optimized network; on a cancelled job it is the partial
+	// result (the network after the last completed command), and nil only
+	// when the script failed to parse.
+	AIG *aig.AIG
+	// Err is nil on success, the (wrapped) context error when the job was
+	// cancelled, or the script error. Contained engine failures do not set
+	// Err — they are listed in Incidents.
+	Err error
+	// Cancelled reports that Err traces back to context cancellation.
+	Cancelled bool
+
+	Queued  time.Duration // submission -> start
+	Wall    time.Duration // start -> finish, host time
+	Modeled time.Duration // modeled device time (parallel jobs)
+
+	NodesBefore, LevelsBefore int
+	NodesAfter, LevelsAfter   int
+
+	Timings   []flow.CommandTiming
+	Incidents []flow.Incident
+	Profile   []gpu.KernelProfile
+}
+
+// Metrics aggregates an engine's fleet statistics.
+type Metrics struct {
+	Workers   int // pool size W backing the engine
+	Submitted int
+	Started   int
+	Finished  int // completed without error
+	Failed    int
+	Cancelled int
+	// QueueDepth is the number of jobs still waiting at the time of the
+	// Metrics call; PeakQueueDepth the high-water mark.
+	QueueDepth     int
+	PeakQueueDepth int
+	// PeakWorkers is the pool's observed concurrency high-water mark
+	// (never above Workers: the shared-budget invariant).
+	PeakWorkers int
+	// Wall spans the first submission to the last job completion. JobWall
+	// sums per-job host time — their ratio is the job-level concurrency.
+	Wall    time.Duration
+	JobWall time.Duration
+	// Modeled sums the modeled device time of all jobs.
+	Modeled time.Duration
+	// WorkerBusy sums the time pool workers spent executing kernel bodies.
+	WorkerBusy time.Duration
+}
+
+// Utilization is the fraction of the worker budget kept busy:
+// WorkerBusy / (Wall * Workers). Zero before any job finishes.
+func (m Metrics) Utilization() float64 {
+	if m.Wall <= 0 || m.Workers == 0 {
+		return 0
+	}
+	return m.WorkerBusy.Seconds() / (m.Wall.Seconds() * float64(m.Workers))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// MaxConcurrentJobs bounds how many jobs run at once (0 = the pool's
+	// worker count). The pool already bounds host parallelism; this knob
+	// bounds memory held by in-flight jobs and keeps the priority queue
+	// meaningful.
+	MaxConcurrentJobs int
+}
+
+// Ticket is the handle Submit returns; Wait blocks for the job's Result.
+type Ticket struct {
+	done chan struct{}
+	res  Result
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (t *Ticket) Wait() Result {
+	<-t.done
+	return t.res
+}
+
+// Done is closed when the job has finished.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+type queuedJob struct {
+	job       Job
+	ctx       context.Context
+	ticket    *Ticket
+	submitted time.Time
+	seq       int // FIFO tie-break within a priority
+	index     int // heap bookkeeping
+}
+
+// Engine admits jobs by priority onto a bounded set of job runners, leasing
+// device capacity for each from the shared pool.
+type Engine struct {
+	pool *Pool
+	ctx  context.Context // engine-wide cancellation
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobHeap
+	closed  bool
+	seq     int
+	metrics Metrics
+	first   time.Time // first submission
+	last    time.Time // latest completion
+
+	runners sync.WaitGroup
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("sched: engine closed")
+
+// NewEngine starts an engine over pool. ctx, when non-nil, cancels every
+// job (queued and running) engine-wide when it is done.
+func NewEngine(ctx context.Context, pool *Pool, opts Options) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &Engine{pool: pool, ctx: ctx}
+	e.cond = sync.NewCond(&e.mu)
+	e.metrics.Workers = pool.Workers()
+	n := opts.MaxConcurrentJobs
+	if n <= 0 {
+		n = pool.Workers()
+	}
+	e.runners.Add(n)
+	for i := 0; i < n; i++ {
+		go e.runner()
+	}
+	return e
+}
+
+// Submit enqueues a job. ctx, when non-nil, cancels this job alone; the
+// engine-wide context still applies. The returned Ticket resolves when the
+// job finishes (or is cancelled while queued).
+func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	if job.AIG == nil {
+		return nil, fmt.Errorf("sched: job %q has no input AIG", job.Name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if job.Name == "" {
+		job.Name = job.AIG.Name
+	}
+	t := &Ticket{done: make(chan struct{})}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	now := time.Now()
+	if e.metrics.Submitted == 0 {
+		e.first = now
+	}
+	e.metrics.Submitted++
+	q := &queuedJob{job: job, ctx: ctx, ticket: t, submitted: now, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, q)
+	if d := len(e.queue); d > e.metrics.PeakQueueDepth {
+		e.metrics.PeakQueueDepth = d
+	}
+	e.cond.Signal()
+	return t, nil
+}
+
+// Close stops admission, drains the queue, and waits for every job to
+// finish. Safe to call once; Submit afterwards returns ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.runners.Wait()
+}
+
+// Metrics returns a snapshot of the fleet statistics.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.QueueDepth = len(e.queue)
+	if !e.first.IsZero() && e.last.After(e.first) {
+		m.Wall = e.last.Sub(e.first)
+	}
+	m.PeakWorkers = e.pool.PeakWorkers()
+	m.WorkerBusy = e.pool.BusyTime()
+	return m
+}
+
+func (e *Engine) runner() {
+	defer e.runners.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		q := heap.Pop(&e.queue).(*queuedJob)
+		e.metrics.Started++
+		e.mu.Unlock()
+		res := e.run(q)
+		e.mu.Lock()
+		switch {
+		case res.Cancelled:
+			e.metrics.Cancelled++
+		case res.Err != nil:
+			e.metrics.Failed++
+		default:
+			e.metrics.Finished++
+		}
+		e.metrics.JobWall += res.Wall
+		e.metrics.Modeled += res.Modeled
+		e.last = time.Now()
+		e.mu.Unlock()
+		q.ticket.res = res
+		close(q.ticket.done)
+	}
+}
+
+// run executes one job under the merged per-job + engine-wide context.
+func (e *Engine) run(q *queuedJob) Result {
+	res := Result{Name: q.job.Name, Script: q.job.Script}
+	res.NodesBefore = q.job.AIG.NumAnds()
+	res.LevelsBefore = q.job.AIG.Levels()
+	start := time.Now()
+	res.Queued = start.Sub(q.submitted)
+
+	ctx, cancel := context.WithCancel(q.ctx)
+	defer cancel()
+	stop := context.AfterFunc(e.ctx, cancel)
+	defer stop()
+	// AfterFunc fires asynchronously; if the engine-wide context is already
+	// done, cancel synchronously so a queued job cannot slip through and run
+	// to completion before the callback goroutine is scheduled.
+	if e.ctx.Err() != nil {
+		cancel()
+	}
+
+	cfg := q.job.Config
+	cfg.Device = nil
+	if cfg.Parallel {
+		cfg.Device = e.pool.Lease(q.job.Workers)
+	}
+	fres, err := flow.Run(ctx, q.job.AIG, q.job.Script, cfg)
+	res.Wall = time.Since(start)
+	res.Modeled = fres.TotalModeled
+	res.Timings = fres.Timings
+	res.Incidents = fres.Incidents
+	res.AIG = fres.AIG
+	if cfg.Device != nil {
+		res.Profile = cfg.Device.Profile()
+	}
+	if res.AIG != nil {
+		res.NodesAfter = res.AIG.NumAnds()
+		res.LevelsAfter = res.AIG.Levels()
+	}
+	res.Err = err
+	res.Cancelled = err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	return res
+}
+
+// RunJobs is the one-shot convenience: it runs jobs over a fresh engine on
+// pool (engine-wide cancellation from ctx) and returns the results in
+// submission order together with the fleet metrics. maxConcurrent bounds
+// simultaneous jobs (0 = pool workers).
+func RunJobs(ctx context.Context, pool *Pool, jobs []Job, maxConcurrent int) ([]Result, Metrics) {
+	e := NewEngine(ctx, pool, Options{MaxConcurrentJobs: maxConcurrent})
+	tickets := make([]*Ticket, len(jobs))
+	for i, j := range jobs {
+		t, err := e.Submit(ctx, j)
+		if err != nil {
+			tickets[i] = &Ticket{done: closedChan, res: Result{Name: j.Name, Script: j.Script, Err: err}}
+			continue
+		}
+		tickets[i] = t
+	}
+	e.Close()
+	out := make([]Result, len(jobs))
+	for i, t := range tickets {
+		out[i] = t.Wait()
+	}
+	return out, e.Metrics()
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// jobHeap is a max-heap on (Priority, -seq): highest priority first,
+// submission order within a priority.
+type jobHeap []*queuedJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *jobHeap) Push(x any) {
+	q := x.(*queuedJob)
+	q.index = len(*h)
+	*h = append(*h, q)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return q
+}

@@ -1,0 +1,122 @@
+// Package sched is the batch-optimization engine: it runs many (AIG,
+// script) jobs concurrently over a shared, bounded host worker budget.
+//
+// The paper's system optimizes one AIG per invocation and sizes its worker
+// pool to the whole machine; a service optimizing N designs at once would
+// oversubscribe the host N-fold. Here a Pool owns the host worker
+// goroutines once, jobs lease capped sub-devices from it (gpu.NewLeased),
+// and an Engine admits jobs by priority, runs each through the guarded
+// flow.Run with per-job and engine-wide context cancellation, and
+// aggregates per-job Results plus fleet Metrics.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aigre/internal/gpu"
+)
+
+// Pool is a fixed set of host worker goroutines shared by every device
+// leased from it. Kernel launches of leased devices enqueue their worker
+// bodies here, so the total host concurrency across any number of
+// concurrent jobs never exceeds the pool size.
+type Pool struct {
+	size  int
+	tasks chan poolTask
+	wg    sync.WaitGroup // worker goroutines
+
+	closeOnce sync.Once
+	running   atomic.Int32 // workers currently executing a task
+	peak      atomic.Int32 // high-water mark of running
+	busyNS    atomic.Int64 // summed task execution time
+}
+
+type poolTask struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+// NewPool starts a pool of the given number of worker goroutines
+// (0 = GOMAXPROCS). Close must be called to release them.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{size: workers, tasks: make(chan poolTask)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		cur := p.running.Add(1)
+		for {
+			peak := p.peak.Load()
+			if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+		start := time.Now()
+		t.fn()
+		p.busyNS.Add(int64(time.Since(start)))
+		p.running.Add(-1)
+		t.done.Done()
+	}
+}
+
+// Workers returns the pool size W: the hard bound on concurrently running
+// leased kernel workers.
+func (p *Pool) Workers() int { return p.size }
+
+// PeakWorkers returns the high-water mark of concurrently executing worker
+// bodies observed so far — by construction never above Workers(). Tests use
+// it to assert the shared-budget invariant.
+func (p *Pool) PeakWorkers() int { return int(p.peak.Load()) }
+
+// BusyTime returns the summed execution time of all tasks run so far, the
+// numerator of worker utilization.
+func (p *Pool) BusyTime() time.Duration { return time.Duration(p.busyNS.Load()) }
+
+// Execute implements gpu.Executor: it runs every task on the pool workers
+// and returns when all have completed. Tasks may be enqueued from many
+// jobs' orchestration goroutines concurrently; each blocks only until a
+// worker picks its task up.
+func (p *Pool) Execute(tasks []func()) {
+	var done sync.WaitGroup
+	done.Add(len(tasks))
+	for _, fn := range tasks {
+		p.tasks <- poolTask{fn: fn, done: &done}
+	}
+	done.Wait()
+}
+
+// Lease returns a device drawing its launch workers from the pool, capped
+// at max worker bodies per launch (0 or anything above the pool size means
+// the whole pool). The leased device records its own work/span/profile
+// stats, so per-job accounting is identical to a private device.
+//
+// The lease stays valid until the pool is closed; leasing is cheap enough
+// to do per job.
+func (p *Pool) Lease(max int) *gpu.Device {
+	if max <= 0 || max > p.size {
+		max = p.size
+	}
+	return gpu.NewLeased(max, p)
+}
+
+// Close shuts the pool down after all enqueued tasks finish and waits for
+// the worker goroutines to exit. No device leased from the pool may launch
+// kernels afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}

@@ -1,15 +1,27 @@
 #!/bin/sh
-# Tier-1 verification: build, vet (findings fail the run), the full test
-# suite under the race detector — which includes the fault-injection and
-# rollback tests of internal/gpu and internal/flow — and a short fuzz smoke
-# of the AIGER parser. Run from anywhere; `make check` is an alias.
+# Tier-1 verification: gofmt gate, build, vet (findings fail the run), the
+# full test suite under the race detector — which includes the
+# fault-injection and rollback tests of internal/gpu and internal/flow —
+# and a short fuzz smoke of the AIGER parser. Run from anywhere;
+# `make check` is an alias.
 set -eu
 cd "$(dirname "$0")/.."
+# gofmt gate: fail on any unformatted file.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 set -x
 go build ./...
 go vet ./...
 go test -race ./...
 # Fault-injection / recovery paths, explicitly, under -race.
 go test -race -run 'Fault|Guard|TableFull' ./internal/gpu/ ./internal/flow/ ./internal/hashtable/
+# Batch scheduler: shared-budget stress and cancellation, explicitly, under
+# -race (concurrent jobs over a tiny pool must respect the worker budget and
+# stop promptly on cancel, with no goroutine leaks).
+go test -race -run 'Pool|Engine|Lease|RunBatch|Cancel' ./internal/sched/ ./internal/gpu/ .
 # Fuzz smoke: the AIGER parser must never panic on arbitrary input.
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
