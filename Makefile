@@ -12,5 +12,8 @@ test:
 race:
 	go test -race ./...
 
-bench:
+bench: ## paper-table benchmarks + regression gate vs scripts/bench_baseline.txt -> BENCH_5.json
+	./scripts/bench.sh
+
+bench-all:
 	go test -bench=. -benchmem ./...

@@ -41,10 +41,66 @@ import (
 	"aigre/internal/dedup"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
+	"aigre/internal/rcache"
 	"aigre/internal/refactor"
 	"aigre/internal/resub"
 	"aigre/internal/rewrite"
 )
+
+// Cache is a resynthesis cache: it memoizes NPN canonization for rewriting
+// cuts and factored programs for refactoring cones, keyed by the exact cone
+// function. Optimization results are bit-identical with or without a cache —
+// it only cuts host wall-clock — and a Cache is safe for concurrent use, so
+// one may be shared across passes, runs, and jobs.
+//
+// A nil Cache in Options selects a process-wide default cache. Use NewCache
+// to isolate a run (for reproducible per-run statistics) and
+// DisabledCache to turn memoization off entirely.
+type Cache struct{ c *rcache.Cache }
+
+// NewCache returns an empty resynthesis cache with the default capacity.
+func NewCache() *Cache { return &Cache{c: rcache.New()} }
+
+// DisabledCache returns a cache that never stores or hits: every lookup is a
+// miss. Useful for measuring the cache's effect and in tests.
+func DisabledCache() *Cache { return &Cache{c: rcache.Disabled()} }
+
+// Stats returns a snapshot of the cache's lifetime counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return cacheStatsOf(c.c.Snapshot())
+}
+
+// CacheStats reports resynthesis-cache traffic. Hits/Misses/Evictions count
+// the program compartment (refactoring cones); NpnHits/NpnMisses count the
+// NPN-canonization compartment (rewriting cuts); Entries is the current
+// number of cached programs.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	NpnHits   int64 `json:"npn_hits"`
+	NpnMisses int64 `json:"npn_misses"`
+	Entries   int   `json:"entries"`
+}
+
+// HitRate is Hits / (Hits + Misses) for the program compartment; 0 with no
+// lookups.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func cacheStatsOf(st rcache.Stats) CacheStats {
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		NpnHits: st.NpnHits, NpnMisses: st.NpnMisses, Entries: st.Entries,
+	}
+}
 
 // Network is a combinational And-Inverter Graph.
 type Network struct {
@@ -101,6 +157,10 @@ type Options struct {
 	// corrupts the Nth kernel launch matching a name pattern, exercising the
 	// guarded rollback path). See gpu.FaultPlan.
 	FaultPlans []gpu.FaultPlan
+	// Cache is the resynthesis cache consulted by the rewriting and
+	// refactoring engines (nil = a process-wide default cache). Results are
+	// bit-identical with or without it. See Cache.
+	Cache *Cache
 }
 
 // Result reports an optimization run.
@@ -122,6 +182,10 @@ type Result struct {
 	// the guarded runner degraded them (sequential retry or skip). Empty on
 	// a clean run.
 	Incidents []flow.Incident
+	// CacheStats is the resynthesis-cache traffic observed during this run
+	// (a before/after delta of the configured cache; when the cache is shared
+	// with concurrent runs the delta includes their traffic too).
+	CacheStats CacheStats
 }
 
 // New returns an empty network with the given number of primary inputs.
@@ -259,6 +323,15 @@ func (o Options) passes() int {
 	return o.Passes
 }
 
+// rcache resolves the internal cache behind Options.Cache (nil = the
+// process-wide default).
+func (o Options) rcache() *rcache.Cache {
+	if o.Cache != nil {
+		return o.Cache.c
+	}
+	return rcache.Default
+}
+
 // algo describes one single-algorithm entry point for runAlgo: the two
 // engines, the pass count, and whether parallel mode appends the Section
 // III-F cleanup pass. A nil sequential engine means the algorithm always
@@ -293,6 +366,7 @@ func (n *Network) runAlgo(ctx context.Context, opts Options, al algo) (res Resul
 		d.Bind(ctx)
 	}
 	cur := n.aig
+	cacheBefore := opts.rcache().Snapshot()
 	finish := func(e error) (Result, error) {
 		wall := time.Since(start)
 		r := Result{AIG: &Network{aig: cur}, Wall: wall, Modeled: wall}
@@ -300,6 +374,7 @@ func (n *Network) runAlgo(ctx context.Context, opts Options, al algo) (res Resul
 			r.Modeled = d.Stats().ModeledTime
 			r.Profile = d.Profile()
 		}
+		r.CacheStats = cacheStatsOf(opts.rcache().Snapshot().Sub(cacheBefore))
 		return r, e
 	}
 	defer func() {
@@ -360,11 +435,11 @@ func (n *Network) Balance(ctx context.Context, opts Options) (Result, error) {
 func (n *Network) Refactor(ctx context.Context, opts Options) (Result, error) {
 	return n.runAlgo(ctx, opts, algo{
 		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG {
-			out, _ := refactor.Parallel(d, a, refactor.Options{MaxCut: opts.MaxCut})
+			out, _ := refactor.Parallel(d, a, refactor.Options{MaxCut: opts.MaxCut, Cache: opts.rcache()})
 			return out
 		},
 		sequential: func(a *aig.AIG) *aig.AIG {
-			out, _ := refactor.Sequential(a, refactor.Options{MaxCut: opts.MaxCut, ZeroGain: opts.ZeroGain})
+			out, _ := refactor.Sequential(a, refactor.Options{MaxCut: opts.MaxCut, ZeroGain: opts.ZeroGain, Cache: opts.rcache()})
 			return out
 		},
 		passes:  opts.passes(),
@@ -377,11 +452,11 @@ func (n *Network) Refactor(ctx context.Context, opts Options) (Result, error) {
 func (n *Network) Rewrite(ctx context.Context, opts Options) (Result, error) {
 	return n.runAlgo(ctx, opts, algo{
 		parallel: func(d *gpu.Device, a *aig.AIG) *aig.AIG {
-			out, _ := rewrite.Parallel(d, a, rewrite.Options{ZeroGain: opts.ZeroGain})
+			out, _ := rewrite.Parallel(d, a, rewrite.Options{ZeroGain: opts.ZeroGain, Cache: opts.rcache()})
 			return out
 		},
 		sequential: func(a *aig.AIG) *aig.AIG {
-			out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: opts.ZeroGain})
+			out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: opts.ZeroGain, Cache: opts.rcache()})
 			return out
 		},
 		passes:  opts.passes(),
@@ -434,6 +509,7 @@ func (n *Network) Run(ctx context.Context, script string, opts Options) (Result,
 		ZeroGain:   opts.ZeroGain,
 		Verify:     opts.Verify,
 		GateRounds: opts.GateRounds,
+		Cache:      opts.rcache(),
 	}
 	if opts.Parallel {
 		cfg.Device = opts.device()
@@ -441,10 +517,11 @@ func (n *Network) Run(ctx context.Context, script string, opts Options) (Result,
 	start := time.Now()
 	res, err := flow.Run(ctx, n.aig, script, cfg)
 	out := Result{
-		Wall:      time.Since(start),
-		Modeled:   res.TotalModeled,
-		Timings:   res.Timings,
-		Incidents: res.Incidents,
+		Wall:       time.Since(start),
+		Modeled:    res.TotalModeled,
+		Timings:    res.Timings,
+		Incidents:  res.Incidents,
+		CacheStats: cacheStatsOf(res.CacheStats),
 	}
 	if res.AIG != nil {
 		out.AIG = &Network{aig: res.AIG}

@@ -53,6 +53,12 @@ type BatchOptions struct {
 	// (0 = Workers). The pool already bounds host parallelism; this knob
 	// bounds memory held by in-flight networks.
 	MaxConcurrentJobs int
+	// SharedCache, when set, is the resynthesis cache every job of this batch
+	// uses, overriding each job's Options.Cache — an opt-in way to let jobs
+	// over similar designs reuse each other's factoring work. The cache is
+	// concurrency-safe and results remain bit-identical with or without it.
+	// BatchMetrics.CacheStats reports the batch-wide traffic delta.
+	SharedCache *Cache
 }
 
 // BatchResult reports one job of a batch.
@@ -78,6 +84,10 @@ type BatchResult struct {
 
 	Timings   []flow.CommandTiming
 	Incidents []flow.Incident
+	// CacheStats is the resynthesis-cache traffic observed while the job ran.
+	// The counters are cache-global: under a shared cache the delta includes
+	// concurrently running jobs' traffic.
+	CacheStats CacheStats
 }
 
 // BatchMetrics aggregates fleet statistics of one RunBatch call.
@@ -98,6 +108,9 @@ type BatchMetrics struct {
 	// Utilization is the fraction of the worker budget kept busy executing
 	// kernel bodies: busy-time / (Wall * Workers).
 	Utilization float64
+	// CacheStats is the batch-wide resynthesis-cache traffic delta when
+	// BatchOptions.SharedCache was set (zero otherwise).
+	CacheStats CacheStats
 }
 
 // RunBatch optimizes many networks concurrently over one shared, bounded
@@ -128,6 +141,9 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 		if o.RwzPasses == 0 && b.Script == flow.Resyn2 {
 			o.RwzPasses = 2 // match Resyn2's paper default
 		}
+		if opts.SharedCache != nil {
+			o.Cache = opts.SharedCache
+		}
 		sjobs[i] = sched.Job{
 			Name:     b.Name,
 			AIG:      b.AIG.aig,
@@ -142,8 +158,13 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 				ZeroGain:   o.ZeroGain,
 				Verify:     o.Verify,
 				GateRounds: o.GateRounds,
+				Cache:      o.rcache(),
 			},
 		}
+	}
+	var sharedBefore CacheStats
+	if opts.SharedCache != nil {
+		sharedBefore = opts.SharedCache.Stats()
 	}
 	pool := sched.NewPool(opts.Workers)
 	defer pool.Close()
@@ -157,6 +178,7 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 			NodesBefore: r.NodesBefore, LevelsBefore: r.LevelsBefore,
 			NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
 			Timings: r.Timings, Incidents: r.Incidents,
+			CacheStats: cacheStatsOf(r.CacheStats),
 		}
 		if r.AIG != nil {
 			br.AIG = &Network{aig: r.AIG}
@@ -174,6 +196,17 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 		JobWall:        m.JobWall,
 		Modeled:        m.Modeled,
 		Utilization:    m.Utilization(),
+	}
+	if opts.SharedCache != nil {
+		after := opts.SharedCache.Stats()
+		bm.CacheStats = CacheStats{
+			Hits:      after.Hits - sharedBefore.Hits,
+			Misses:    after.Misses - sharedBefore.Misses,
+			Evictions: after.Evictions - sharedBefore.Evictions,
+			NpnHits:   after.NpnHits - sharedBefore.NpnHits,
+			NpnMisses: after.NpnMisses - sharedBefore.NpnMisses,
+			Entries:   after.Entries,
+		}
 	}
 	return out, bm, nil
 }

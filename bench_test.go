@@ -50,6 +50,7 @@ func reportModeled(b *testing.B, total gpu.Stats) {
 func BenchmarkTable1SeqPartGPURewrite(b *testing.B) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := gpu.New(0)
@@ -62,6 +63,7 @@ func BenchmarkTable1SeqPartGPURewrite(b *testing.B) {
 func BenchmarkTable1SeqPartRefactorSeqReplace(b *testing.B) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := gpu.New(0)
@@ -74,6 +76,7 @@ func BenchmarkTable1SeqPartRefactorSeqReplace(b *testing.B) {
 func BenchmarkTable1SeqPartRefactorProposed(b *testing.B) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := gpu.New(0)
@@ -86,6 +89,7 @@ func BenchmarkTable1SeqPartRefactorProposed(b *testing.B) {
 
 func BenchmarkTable2BalanceABC(b *testing.B) {
 	a := benchCase(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		balance.Sequential(a)
@@ -95,6 +99,7 @@ func BenchmarkTable2BalanceABC(b *testing.B) {
 func BenchmarkTable2BalanceGPU(b *testing.B) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := gpu.New(0)
@@ -106,6 +111,7 @@ func BenchmarkTable2BalanceGPU(b *testing.B) {
 
 func BenchmarkTable2RefactorABC(b *testing.B) {
 	a := benchCase(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		refactor.Sequential(a, refactor.Options{})
@@ -115,6 +121,7 @@ func BenchmarkTable2RefactorABC(b *testing.B) {
 func BenchmarkTable2RefactorGPUx2(b *testing.B) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := gpu.New(0)
@@ -129,6 +136,7 @@ func BenchmarkTable2RefactorGPUx2(b *testing.B) {
 func benchSequence(b *testing.B, script string, parallel bool, rwzPasses int) {
 	a := benchCase(b)
 	var total gpu.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := flow.Config{Parallel: parallel, RwzPasses: rwzPasses}
@@ -160,6 +168,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 			a = bench.Double(a)
 		}
 		b.Run(fmt.Sprintf("nodes=%d", a.NumAnds()), func(b *testing.B) {
+			b.ReportAllocs()
 			var total gpu.Stats
 			for i := 0; i < b.N; i++ {
 				cfg := flow.Config{Parallel: true, Device: gpu.New(0)}
@@ -176,6 +185,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 func BenchmarkFig8Breakdown(b *testing.B) {
 	a := benchCase(b)
 	var bTime, rwTime, rfTime, ddTime float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := flow.Config{Parallel: true, Device: gpu.New(0), RwzPasses: 2}
@@ -207,6 +217,7 @@ func BenchmarkHashTableLinearVsChained(b *testing.B) {
 		keys = append(keys, aig.Key(a.Fanin0(id), a.Fanin1(id)))
 	})
 	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ht := hashtable.New(len(keys))
 			for j, k := range keys {
@@ -218,6 +229,7 @@ func BenchmarkHashTableLinearVsChained(b *testing.B) {
 		}
 	})
 	b.Run("chained", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ct := hashtable.NewChained(2 * len(keys))
 			for j, k := range keys {
@@ -233,6 +245,7 @@ func BenchmarkHashTableLinearVsChained(b *testing.B) {
 // BenchmarkPublicAPIResyn2 exercises the exported entry point end to end.
 func BenchmarkPublicAPIResyn2(b *testing.B) {
 	n := aigre.FromInternal(benchCase(b))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.Resyn2(context.Background(), aigre.Options{Parallel: true}); err != nil {

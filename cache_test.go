@@ -1,0 +1,139 @@
+package aigre_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"aigre"
+	"aigre/internal/aig"
+	"aigre/internal/bench"
+)
+
+// cacheCases are arithmetic circuits — the workloads where a resynthesis
+// cache pays off, because carry chains and partial products repeat the same
+// cone functions hundreds of times. (Random networks are useless here: resyn2
+// collapses an 8-PI random AIG to constants before refactor sees a cone.)
+func cacheCases() map[string]*aig.AIG {
+	return map[string]*aig.AIG{
+		"adder32": bench.Adder(32),
+		"mult8":   bench.Multiplier(8),
+	}
+}
+
+// TestCachedRunsMatchUncached is the correctness contract of the
+// resynthesis cache: a cached run must produce an AIG with statistics
+// bit-identical to the uncached run and remain equivalent to the input —
+// the cache is a pure memoization, never a behavioral knob.
+func TestCachedRunsMatchUncached(t *testing.T) {
+	for name, raw := range cacheCases() {
+		for _, parallel := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/parallel=%v", name, parallel), func(t *testing.T) {
+				n := aigre.FromInternal(raw)
+
+				cold, err := n.Resyn2(context.Background(), aigre.Options{
+					Parallel: parallel, Cache: aigre.DisabledCache(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cache := aigre.NewCache()
+				warm, err := n.Resyn2(context.Background(), aigre.Options{
+					Parallel: parallel, Cache: cache,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cs, ws := cold.AIG.Stats(), warm.AIG.Stats()
+				if cs.Nodes != ws.Nodes || cs.Levels != ws.Levels || cs.POs != ws.POs {
+					t.Fatalf("cached stats %+v != uncached %+v", ws, cs)
+				}
+				if eq, err := warm.AIG.EquivalentTo(n); err != nil || !eq {
+					t.Fatalf("cached result not equivalent (err=%v)", err)
+				}
+				if cold.CacheStats.Hits != 0 || cold.CacheStats.NpnHits != 0 {
+					t.Errorf("disabled cache reported hits: %+v", cold.CacheStats)
+				}
+				if warm.CacheStats.Misses == 0 {
+					t.Errorf("fresh cache saw no program traffic: %+v", warm.CacheStats)
+				}
+				if warm.CacheStats.Hits == 0 {
+					t.Errorf("arithmetic circuit produced no within-run hits: %+v", warm.CacheStats)
+				}
+
+				// A second run over the same network hits the now-warm cache
+				// and still produces the identical result.
+				again, err := n.Resyn2(context.Background(), aigre.Options{
+					Parallel: parallel, Cache: cache,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if as := again.AIG.Stats(); as.Nodes != cs.Nodes || as.Levels != cs.Levels {
+					t.Fatalf("warm rerun stats %+v != cold %+v", as, cs)
+				}
+				if again.CacheStats.Hits <= warm.CacheStats.Hits {
+					t.Errorf("warm rerun hits %d not above cold-run hits %d",
+						again.CacheStats.Hits, warm.CacheStats.Hits)
+				}
+			})
+		}
+	}
+}
+
+// TestSharedCacheBatchStress hammers one shared cache from concurrent batch
+// jobs (run under -race by scripts/check.sh) and checks every job's result
+// against an isolated-cache reference run.
+func TestSharedCacheBatchStress(t *testing.T) {
+	const jobs = 8
+	shared := aigre.NewCache()
+	batch := make([]aigre.Batch, jobs)
+	for i := range batch {
+		// Pairs of jobs share a circuit so the cache sees genuinely
+		// concurrent lookups of the same cone functions.
+		var raw *aig.AIG
+		switch i % 4 {
+		case 0:
+			raw = bench.Adder(24)
+		case 1:
+			raw = bench.Multiplier(6)
+		case 2:
+			raw = bench.Square(8)
+		default:
+			raw = bench.Voter(9)
+		}
+		batch[i] = aigre.Batch{
+			Name:    fmt.Sprintf("job%d", i),
+			AIG:     aigre.FromInternal(raw),
+			Script:  "b; rw; rfz; b",
+			Options: aigre.Options{Parallel: true},
+		}
+	}
+	results, metrics, err := aigre.RunBatch(context.Background(), batch,
+		aigre.BatchOptions{Workers: 4, SharedCache: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		ref, err := batch[i].AIG.Run(context.Background(), batch[i].Script, aigre.Options{
+			Parallel: true, Cache: aigre.DisabledCache(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, ss := ref.AIG.Stats(), r.AIG.Stats()
+		if rs.Nodes != ss.Nodes || rs.Levels != ss.Levels {
+			t.Errorf("job %d: shared-cache stats %+v != isolated %+v", i, ss, rs)
+		}
+	}
+	if metrics.CacheStats.Misses == 0 {
+		t.Errorf("shared cache saw no traffic: %+v", metrics.CacheStats)
+	}
+	if metrics.CacheStats.Hits == 0 {
+		t.Errorf("duplicate jobs produced no shared-cache hits: %+v", metrics.CacheStats)
+	}
+}

@@ -89,17 +89,20 @@ func parseManifest(path string, opts aigre.Options) ([]aigre.Batch, error) {
 
 // batchReport is the JSON schema of -report.
 type batchReport struct {
-	Workers        int              `json:"workers"`
-	Finished       int              `json:"finished"`
-	Failed         int              `json:"failed"`
-	Cancelled      int              `json:"cancelled"`
-	PeakWorkers    int              `json:"peak_workers"`
-	PeakQueueDepth int              `json:"peak_queue_depth"`
-	WallNS         time.Duration    `json:"wall_ns"`
-	JobWallNS      time.Duration    `json:"job_wall_ns"`
-	ModeledNS      time.Duration    `json:"modeled_ns"`
-	Utilization    float64          `json:"utilization"`
-	Jobs           []batchJobReport `json:"jobs"`
+	Workers        int           `json:"workers"`
+	Finished       int           `json:"finished"`
+	Failed         int           `json:"failed"`
+	Cancelled      int           `json:"cancelled"`
+	PeakWorkers    int           `json:"peak_workers"`
+	PeakQueueDepth int           `json:"peak_queue_depth"`
+	WallNS         time.Duration `json:"wall_ns"`
+	JobWallNS      time.Duration `json:"job_wall_ns"`
+	ModeledNS      time.Duration `json:"modeled_ns"`
+	Utilization    float64       `json:"utilization"`
+	// Cache is the batch-wide resynthesis-cache traffic (only populated with
+	// -shared-cache, where all jobs consult one cache).
+	Cache *aigre.CacheStats `json:"cache,omitempty"`
+	Jobs  []batchJobReport  `json:"jobs"`
 }
 
 type batchJobReport struct {
@@ -118,7 +121,7 @@ type batchJobReport struct {
 }
 
 // runBatch is the -batch entry point; it returns the process exit code.
-func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers, maxJobs int, opts aigre.Options) int {
+func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers, maxJobs int, sharedCache bool, opts aigre.Options) int {
 	msg := os.Stdout
 	if reportPath == "-" {
 		msg = os.Stderr
@@ -134,7 +137,11 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 			return 1
 		}
 	}
-	results, m, err := aigre.RunBatch(ctx, jobs, aigre.BatchOptions{Workers: workers, MaxConcurrentJobs: maxJobs})
+	bopts := aigre.BatchOptions{Workers: workers, MaxConcurrentJobs: maxJobs}
+	if sharedCache {
+		bopts.SharedCache = aigre.NewCache()
+	}
+	results, m, err := aigre.RunBatch(ctx, jobs, bopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aigre:", err)
 		return 1
@@ -150,6 +157,12 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 		JobWallNS:      m.JobWall,
 		ModeledNS:      m.Modeled,
 		Utilization:    m.Utilization,
+	}
+	if sharedCache {
+		cs := m.CacheStats
+		rep.Cache = &cs
+		fmt.Fprintf(msg, "rcache:  hits=%d misses=%d (%.1f%%) npn-hits=%d npn-misses=%d entries=%d\n",
+			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.NpnHits, cs.NpnMisses, cs.Entries)
 	}
 	exit := 0
 	for _, r := range results {

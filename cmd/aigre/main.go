@@ -33,6 +33,7 @@ func main() {
 		outdir   = flag.String("outdir", "", "directory for batch outputs (default: none written)")
 		report   = flag.String("report", "", "write the batch report as JSON to this file (\"-\" = stdout)")
 		maxJobs  = flag.Int("max-jobs", 0, "max concurrently running batch jobs (0 = workers)")
+		shCache  = flag.Bool("shared-cache", false, "share one resynthesis cache across all batch jobs (batch mode)")
 		timeout  = flag.Duration("timeout", 0, "overall run deadline, e.g. 30s (0 = none)")
 		out      = flag.String("out", "", "output AIGER file (optional; .aag = ASCII)")
 		script   = flag.String("script", "", "optimization script, e.g. \"b; rw; rfz\"")
@@ -74,7 +75,7 @@ func main() {
 			ZeroGain: *zeroGain,
 			Verify:   *verify,
 		}
-		os.Exit(runBatch(ctx, *batch, *outdir, *report, *workers, *maxJobs, opts))
+		os.Exit(runBatch(ctx, *batch, *outdir, *report, *workers, *maxJobs, *shCache, opts))
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "aigre: -in is required (or -batch)")
@@ -151,6 +152,9 @@ func main() {
 		}
 		fmt.Fprintln(msg, "output: ", cur.Stats())
 		if *profile {
+			cs := res.CacheStats
+			fmt.Fprintf(msg, "rcache:  hits=%d misses=%d (%.1f%%) npn-hits=%d npn-misses=%d evictions=%d entries=%d\n",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.NpnHits, cs.NpnMisses, cs.Evictions, cs.Entries)
 			if res.Profile == nil {
 				fmt.Fprintln(msg, "profile: (no device profile; run with -parallel)")
 			} else {
@@ -185,6 +189,10 @@ type profileReport struct {
 	ModeledNS time.Duration       `json:"modeled_ns"`
 	Kernels   []gpu.KernelProfile `json:"kernels"`
 	Commands  []commandReport     `json:"commands"`
+	// Cache is the resynthesis-cache traffic of this run (hit/miss/eviction
+	// counters for the program compartment, npn_hits/npn_misses for NPN
+	// canonization).
+	Cache aigre.CacheStats `json:"cache"`
 	// Incidents are the contained failures of the guarded run (omitted when
 	// the run was clean).
 	Incidents []flow.Incident `json:"incidents,omitempty"`
@@ -207,6 +215,7 @@ func writeProfileJSON(path, script, mode string, res aigre.Result) error {
 		WallNS:    res.Wall,
 		ModeledNS: res.Modeled,
 		Kernels:   res.Profile,
+		Cache:     res.CacheStats,
 		Incidents: res.Incidents,
 	}
 	for _, t := range res.Timings {

@@ -81,9 +81,10 @@ func normalizeInputs(items []item) ([]item, item, bool) {
 
 // gatherSubtree collects the n-ary AND inputs of the subtree rooted at
 // root: expansion follows non-complemented edges into single-fanout AND
-// nodes; everything else becomes an input (Section IV-A).
-func gatherSubtree(a *aig.AIG, refs []int32, root int32, out []aig.Lit) []aig.Lit {
-	stack := []int32{root}
+// nodes; everything else becomes an input (Section IV-A). stack is reusable
+// traversal scratch; the (possibly grown) stack is returned for reuse.
+func gatherSubtree(a *aig.AIG, refs []int32, root int32, out []aig.Lit, stack []int32) ([]aig.Lit, []int32) {
+	stack = append(stack[:0], root)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -96,7 +97,7 @@ func gatherSubtree(a *aig.AIG, refs []int32, root int32, out []aig.Lit) []aig.Li
 			}
 		}
 	}
-	return out
+	return out, stack
 }
 
 // Sequential balances the AIG with the ABC algorithm (implemented
@@ -123,6 +124,7 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 		next int       // inputs resolved so far
 	}
 	var stack []frame
+	var gstack []int32
 	balance := func(root int32) item {
 		if done[root] {
 			return memo[root]
@@ -132,7 +134,7 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 			f := &stack[len(stack)-1]
 			if f.raw == nil {
 				st.Subtrees++
-				f.raw = gatherSubtree(a, refs, f.id, make([]aig.Lit, 0, 4))
+				f.raw, gstack = gatherSubtree(a, refs, f.id, make([]aig.Lit, 0, 4), gstack)
 			}
 			// Resolve remaining inputs, descending where needed.
 			descended := false

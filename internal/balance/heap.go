@@ -15,10 +15,17 @@ func itemLess(a, b item) bool {
 // heapOf heapifies items in place.
 func heapOf(items []item) *itemHeap {
 	h := &itemHeap{s: items}
-	for i := len(items)/2 - 1; i >= 0; i-- {
+	h.heapify()
+	return h
+}
+
+// heapify re-establishes the heap invariant over the current slice in place,
+// so a preallocated itemHeap value can be rebound to a new item set without
+// allocating.
+func (h *itemHeap) heapify() {
+	for i := len(h.s)/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
-	return h
 }
 
 func (h *itemHeap) len() int { return len(h.s) }

@@ -6,6 +6,16 @@ import (
 	"aigre/internal/aig"
 	"aigre/internal/gpu"
 	"aigre/internal/hashtable"
+	"aigre/internal/mempool"
+)
+
+// Reusable per-subtree working memory: gathered input literals, traversal
+// stacks, and reconstruction-table item slices. Pooling these removes the
+// dominant per-subtree allocations of the parallel engine.
+var (
+	litPool  mempool.SlicePool[aig.Lit]
+	i32Pool  mempool.SlicePool[int32]
+	itemPool mempool.SlicePool[item]
 )
 
 // combineStep ANDs two reconstruction items, creating a node through mk
@@ -71,7 +81,9 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 	// Collapse step 3: gather the n-ary AND inputs of every subtree.
 	inputs := make([][]aig.Lit, len(roots))
 	d.Launch("balance/gather", len(roots), func(tid int) int64 {
-		inputs[tid] = gatherSubtree(a, refs, roots[tid], make([]aig.Lit, 0, 4))
+		stk := i32Pool.Get(0)
+		inputs[tid], stk = gatherSubtree(a, refs, roots[tid], litPool.Get(0), stk)
+		i32Pool.Put(stk)
 		return int64(len(inputs[tid]))
 	})
 	st.Subtrees = len(roots)
@@ -129,6 +141,7 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 	}
 	used := make([]int32, len(roots))
 	heaps := make([]*itemHeap, len(roots))
+	heapStore := make([]itemHeap, len(roots)) // heap headers preallocated once
 
 	for lv := int32(1); lv <= maxLevel; lv++ {
 		batch := byLevel[lv]
@@ -136,7 +149,7 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 		d.Launch("balance/recon-init", len(batch), func(tid int) int64 {
 			ri := batch[tid]
 			ins := inputs[ri]
-			items := make([]item, len(ins))
+			items := itemPool.Get(len(ins))
 			for j, f := range ins {
 				m := newItem[f.Var()]
 				items[j] = item{delay: m.delay, lit: m.lit.NotCond(f.IsCompl())}
@@ -145,9 +158,15 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 			if collapsed {
 				newItem[roots[ri]] = single
 				heaps[ri] = nil
+				itemPool.Put(items)
 				return int64(len(ins))
 			}
-			heaps[ri] = heapOf(reduced)
+			// reduced aliases items' backing array; the heap owns it until the
+			// batch publishes, when it is returned to the pool.
+			h := &heapStore[ri]
+			h.s = reduced
+			h.heapify()
+			heaps[ri] = h
 			return int64(len(ins))
 		})
 		// Insertion passes: one new node per subtree per pass (Figure 6b-c)
@@ -187,11 +206,13 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 				return 4
 			})
 		}
-		// Publish batch results.
+		// Publish batch results and recycle the item backing arrays.
 		d.Launch1("balance/publish", len(batch), func(tid int) {
 			ri := batch[tid]
 			if heaps[ri] != nil {
 				newItem[roots[ri]] = heaps[ri].pop()
+				itemPool.Put(heaps[ri].s)
+				heaps[ri].s = nil
 				heaps[ri] = nil
 			}
 		})
@@ -200,6 +221,10 @@ func Parallel(d *gpu.Device, a *aig.AIG) (*aig.AIG, Stats) {
 	for _, p := range a.POs() {
 		m := newItem[p.Var()]
 		out.AddPO(m.lit.NotCond(p.IsCompl()))
+	}
+	for i := range inputs {
+		litPool.Put(inputs[i])
+		inputs[i] = nil
 	}
 	final, _ := out.Compact()
 	st.NodesAfter = final.NumAnds()

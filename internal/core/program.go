@@ -25,6 +25,12 @@ func MakeRef(kind Ref, idx int, compl bool) Ref {
 	return r
 }
 
+// ConstRef returns a constant reference (value selects true/false).
+func ConstRef(value bool) Ref { return MakeRef(refConst, 0, value) }
+
+// LeafRef returns a reference to cone leaf i, optionally complemented.
+func LeafRef(i int, neg bool) Ref { return MakeRef(refLeaf, i, neg) }
+
 // Kind returns the reference kind (refConst, refLeaf or refOp).
 func (r Ref) Kind() Ref { return r & refKind }
 

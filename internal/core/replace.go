@@ -88,13 +88,22 @@ func ApplyReplacements(d *gpu.Device, a *aig.AIG, reps []Replacement, sequential
 	_ = nPIs
 
 	// Phase 4: insertion passes — one new node per cone per pass
-	// (Figure 1d-1e), sharing-aware through the table.
+	// (Figure 1d-1e), sharing-aware through the table. Per-cone result and
+	// leaf-literal arrays are carved out of two flat backing allocations (the
+	// op offsets from the slot scan; leaf offsets from a host prefix sum)
+	// instead of one allocation per cone.
 	results := make([][]aig.Lit, len(reps))
 	leafLits := make([][]aig.Lit, len(reps))
+	leafOff := make([]int32, len(reps)+1)
+	for i := range reps {
+		leafOff[i+1] = leafOff[i] + int32(len(reps[i].Cone.Leaves))
+	}
+	resultsFlat := make([]aig.Lit, int(total))
+	leafFlat := make([]aig.Lit, int(leafOff[len(reps)]))
 	launch(d, sequential, "replace/prep", len(reps), func(tid int) int64 {
 		r := &reps[tid]
-		results[tid] = make([]aig.Lit, len(r.Prog.Ops))
-		lits := make([]aig.Lit, len(r.Cone.Leaves))
+		results[tid] = resultsFlat[offsets[tid] : int(offsets[tid])+len(r.Prog.Ops) : int(offsets[tid])+len(r.Prog.Ops)]
+		lits := leafFlat[leafOff[tid]:leafOff[tid+1]:leafOff[tid+1]]
 		for i, l := range r.Cone.Leaves {
 			lits[i] = aig.MakeLit(l, false)
 		}

@@ -1,0 +1,153 @@
+package core
+
+import "aigre/internal/aig"
+
+// EvalScratch amortizes the per-cone working memory of gain evaluation:
+// MFFC membership, dry-run costing, and program building. The map-based
+// MffcMembers/DryRunCost/BuildProgramAvoiding allocate per call; the methods
+// here reuse traversal-stamped arrays so the per-node evaluation loops of
+// rewriting and refactoring allocate nothing in steady state. A scratch
+// value is not safe for concurrent use; parallel kernels draw one per
+// worker from a sync.Pool.
+//
+// The marking protocol: each MffcMembers call claims a fresh traversal base
+// b (trav advances by 4, so bases never collide with earlier cones or with
+// the zero value of a grown array). mark[v] == b flags a cut leaf,
+// b+1 an MFFC member, b+2 a member revived by a following DryRunCost call.
+type EvalScratch struct {
+	mark    []int32
+	dec     []int32
+	decMark []int32
+	trav    int32
+	stack   []int32
+	members []int32
+	results []aig.Lit
+	created []int32
+}
+
+func (s *EvalScratch) ensure(n int) {
+	if n <= len(s.mark) {
+		return
+	}
+	c := 2 * len(s.mark)
+	if c < n {
+		c = n
+	}
+	// Fresh zeroed arrays; trav restarts above any stale zero stamps.
+	s.mark = make([]int32, c)
+	s.dec = make([]int32, c)
+	s.decMark = make([]int32, c)
+	s.trav = 0
+}
+
+// MffcMembers computes the MFFC members of root bounded by the cut leaves,
+// exactly as the package-level MffcMembers, but into reused storage: the
+// returned slice (root first) is valid until the next call. The member set
+// stays recorded in the scratch for a following DryRunCost call.
+func (s *EvalScratch) MffcMembers(a *aig.AIG, root int32, leaves []int32) []int32 {
+	s.ensure(a.NumObjs())
+	s.trav += 4
+	base := s.trav
+	for _, l := range leaves {
+		s.mark[l] = base
+	}
+	s.mark[root] = base + 1
+	s.members = append(s.members[:0], root)
+	st := append(s.stack[:0], root)
+	for len(st) > 0 {
+		cur := st[len(st)-1]
+		st = st[:len(st)-1]
+		for _, f := range [2]aig.Lit{a.Fanin0(cur), a.Fanin1(cur)} {
+			v := f.Var()
+			if !a.IsAnd(v) || s.mark[v] == base {
+				continue
+			}
+			if s.decMark[v] != base {
+				s.decMark[v] = base
+				s.dec[v] = 0
+			}
+			s.dec[v]++
+			if int(s.dec[v]) == a.FanoutCount(v) {
+				s.mark[v] = base + 1
+				s.members = append(s.members, v)
+				st = append(st, v)
+			}
+		}
+	}
+	s.stack = st
+	return s.members
+}
+
+// DryRunCost mirrors the package-level DryRunCost against the member set
+// recorded by the preceding MffcMembers call on this scratch. It consumes
+// the recorded set (members revived here stay revived), matching the
+// one-shot evaluate-then-decide usage of the callers.
+func (s *EvalScratch) DryRunCost(a *aig.AIG, prog Program, leaves []aig.Lit) int {
+	base := s.trav
+	results := s.resultsFor(len(prog.Ops))
+	cost := 0
+	st := s.stack[:0]
+	for i, op := range prog.Ops {
+		f0 := Resolve(op.A, leaves, results)
+		f1 := Resolve(op.B, leaves, results)
+		if f0.Regular() == virtualLit || f1.Regular() == virtualLit {
+			cost++
+			results[i] = virtualLit
+			continue
+		}
+		lit, ok := a.Lookup(f0, f1)
+		if !ok {
+			cost++
+			results[i] = virtualLit
+			continue
+		}
+		results[i] = lit
+		if s.mark[lit.Var()] != base+1 {
+			continue
+		}
+		// Revive: the structural hit lands on an MFFC node; it and its
+		// not-yet-revived MFFC fanin survive, each charged one node.
+		st = append(st[:0], lit.Var())
+		for len(st) > 0 {
+			v := st[len(st)-1]
+			st = st[:len(st)-1]
+			if s.mark[v] != base+1 {
+				continue
+			}
+			s.mark[v] = base + 2
+			cost++
+			st = append(st, a.Fanin0(v).Var(), a.Fanin1(v).Var())
+		}
+	}
+	s.stack = st
+	return cost
+}
+
+// BuildProgramAvoiding mirrors the package-level BuildProgramAvoiding with
+// reused result/undo storage.
+func (s *EvalScratch) BuildProgramAvoiding(a *aig.AIG, prog Program, leaves []aig.Lit, avoid int32) (lit aig.Lit, ok bool) {
+	results := s.resultsFor(len(prog.Ops))
+	created := s.created[:0]
+	defer func() { s.created = created }()
+	for i, op := range prog.Ops {
+		before := a.NumObjs()
+		results[i] = a.NewAnd(Resolve(op.A, leaves, results), Resolve(op.B, leaves, results))
+		if a.NumObjs() > before {
+			created = append(created, results[i].Var())
+		}
+		if results[i].Var() == avoid {
+			for j := len(created) - 1; j >= 0; j-- {
+				a.RemoveIfDangling(created[j])
+			}
+			return 0, false
+		}
+	}
+	return Resolve(prog.Root, leaves, results), true
+}
+
+func (s *EvalScratch) resultsFor(n int) []aig.Lit {
+	if cap(s.results) < n {
+		s.results = make([]aig.Lit, n)
+	}
+	return s.results[:n]
+}

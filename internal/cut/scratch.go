@@ -1,0 +1,216 @@
+package cut
+
+import (
+	"aigre/internal/aig"
+	"aigre/internal/truth"
+)
+
+// Scratch amortizes cone-evaluation working memory: traversal-stamped node
+// arrays replace the per-call maps of ConeTruth16/ConeTruth, and wide truth
+// tables come from a per-leaf-count arena instead of truth.New. Results
+// returned by ConeTruth are owned by the scratch and valid only until its
+// next call. A Scratch is not safe for concurrent use; parallel kernels
+// draw one per worker from a sync.Pool.
+type Scratch struct {
+	stamp  []int32 // node id -> trav when the node has a value this cone
+	trav   int32
+	val16  []uint16   // node value for the 16-bit path
+	nodeTT []truth.TT // node value for the wide path
+	stack  []int32
+
+	// arenas[n] recycles truth tables for n-leaf cones. Reconvergence cut
+	// sizes vary call to call, so one arena per leaf count keeps reuse
+	// effective without reallocation churn.
+	arenas [truth.MaxVars + 1]ttArena
+}
+
+type ttArena struct {
+	free int
+	tts  [][]uint64
+}
+
+// NewScratch returns an empty scratch; arrays grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) ensure(n int) {
+	if n <= len(s.stamp) {
+		return
+	}
+	c := 2 * len(s.stamp)
+	if c < n {
+		c = n
+	}
+	s.stamp = make([]int32, c)
+	s.trav = 0
+	if s.val16 != nil {
+		s.val16 = make([]uint16, c)
+	}
+	if s.nodeTT != nil {
+		s.nodeTT = make([]truth.TT, c)
+	}
+}
+
+func (s *Scratch) allocTT(n int) truth.TT {
+	ar := &s.arenas[n]
+	if ar.free < len(ar.tts) {
+		w := ar.tts[ar.free]
+		ar.free++
+		return truth.TT{NVars: n, Words: w}
+	}
+	w := make([]uint64, truth.WordCount(n))
+	ar.tts = append(ar.tts, w)
+	ar.free++
+	return truth.TT{NVars: n, Words: w}
+}
+
+// ConeTruth16 is ConeTruth16 with scratch reuse: identical semantics,
+// no allocation.
+func (s *Scratch) ConeTruth16(a *aig.AIG, rootLit aig.Lit, leaves []int32) (uint16, bool) {
+	var leafTT = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+	s.ensure(a.NumObjs())
+	if s.val16 == nil {
+		s.val16 = make([]uint16, len(s.stamp))
+	}
+	s.trav++
+	s.stamp[0] = s.trav
+	s.val16[0] = 0
+	count := 1
+	for i, l := range leaves {
+		if s.stamp[l] != s.trav {
+			count++
+		}
+		s.stamp[l] = s.trav
+		s.val16[l] = leafTT[i]
+	}
+	root := rootLit.Var()
+	st := s.stack[:0]
+	defer func() { s.stack = st }()
+	if s.stamp[root] != s.trav {
+		st = append(st, root)
+		for len(st) > 0 {
+			cur := st[len(st)-1]
+			if s.stamp[cur] == s.trav {
+				st = st[:len(st)-1]
+				continue
+			}
+			if !a.IsAnd(cur) {
+				return 0, false // reached a PI outside the cut
+			}
+			f0, f1 := a.Fanin0(cur), a.Fanin1(cur)
+			if s.stamp[f0.Var()] != s.trav {
+				st = append(st, f0.Var())
+				continue
+			}
+			if s.stamp[f1.Var()] != s.trav {
+				st = append(st, f1.Var())
+				continue
+			}
+			t0, t1 := s.val16[f0.Var()], s.val16[f1.Var()]
+			if f0.IsCompl() {
+				t0 = ^t0
+			}
+			if f1.IsCompl() {
+				t1 = ^t1
+			}
+			s.val16[cur] = t0 & t1
+			s.stamp[cur] = s.trav
+			st = st[:len(st)-1]
+			count++
+			if count > 4096 {
+				return 0, false // runaway cone: not a valid small cut
+			}
+		}
+	}
+	res := s.val16[root]
+	if rootLit.IsCompl() {
+		res = ^res
+	}
+	return res, true
+}
+
+// ConeTruth is ConeTruth with scratch reuse: identical semantics and bit
+// patterns, no allocation in steady state. The returned table is owned by
+// the scratch — callers must copy anything they keep past the next call.
+func (s *Scratch) ConeTruth(a *aig.AIG, rootLit aig.Lit, leaves []int32) truth.TT {
+	n := len(leaves)
+	s.ensure(a.NumObjs())
+	if s.nodeTT == nil {
+		s.nodeTT = make([]truth.TT, len(s.stamp))
+	}
+	s.trav++
+	s.arenas[n].free = 0
+	s.stamp[0] = s.trav
+	s.nodeTT[0] = s.allocTT(n).Fill(false)
+	for i, l := range leaves {
+		s.stamp[l] = s.trav
+		s.nodeTT[l] = s.allocTT(n).SetVar(i)
+	}
+	root := rootLit.Var()
+	st := s.stack[:0]
+	if s.stamp[root] != s.trav {
+		st = append(st, root)
+		for len(st) > 0 {
+			cur := st[len(st)-1]
+			if s.stamp[cur] == s.trav {
+				st = st[:len(st)-1]
+				continue
+			}
+			if !a.IsAnd(cur) {
+				panic("cut: cone escapes the leaf boundary")
+			}
+			f0, f1 := a.Fanin0(cur), a.Fanin1(cur)
+			if s.stamp[f0.Var()] != s.trav {
+				st = append(st, f0.Var())
+				continue
+			}
+			if s.stamp[f1.Var()] != s.trav {
+				st = append(st, f1.Var())
+				continue
+			}
+			s.nodeTT[cur] = s.allocTT(n).AndCompl(
+				s.nodeTT[f0.Var()], f0.IsCompl(),
+				s.nodeTT[f1.Var()], f1.IsCompl())
+			s.stamp[cur] = s.trav
+			st = st[:len(st)-1]
+		}
+	}
+	s.stack = st
+	res := s.nodeTT[root]
+	if rootLit.IsCompl() {
+		// Complement into a fresh arena slot: the node's own table may be
+		// shared with other fanouts inside the cone.
+		return s.allocTT(n).Not(res)
+	}
+	return res
+}
+
+// ValidCut reports whether every path from root toward the PIs crosses the
+// leaf set, visiting at most budget AND nodes — the revalidation used by
+// sequential replacement, without the per-call maps.
+func (s *Scratch) ValidCut(a *aig.AIG, root int32, leaves []int32, budget int) bool {
+	s.ensure(a.NumObjs())
+	s.trav++
+	for _, l := range leaves {
+		s.stamp[l] = s.trav
+	}
+	count := 0
+	st := append(s.stack[:0], root)
+	defer func() { s.stack = st }()
+	for len(st) > 0 {
+		cur := st[len(st)-1]
+		st = st[:len(st)-1]
+		if s.stamp[cur] == s.trav {
+			continue
+		}
+		if !a.IsAnd(cur) {
+			return false // escaped to a PI or constant
+		}
+		s.stamp[cur] = s.trav
+		count++
+		if count > budget {
+			return false
+		}
+		st = append(st, a.Fanin0(cur).Var(), a.Fanin1(cur).Var())
+	}
+	return true
+}

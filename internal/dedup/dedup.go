@@ -10,12 +10,27 @@
 package dedup
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"aigre/internal/aig"
 	"aigre/internal/gpu"
 	"aigre/internal/hashtable"
 )
+
+// tablePool recycles the pass-scoped hash table between runs. A pooled table
+// is reused only when its slot count equals what New would pick for the
+// requested capacity, so pooled and unpooled runs behave identically
+// (including the deliberate undersized-table rehash path used in tests).
+var tablePool sync.Pool
+
+func acquireTable(capacityHint int) *hashtable.Table {
+	if t, _ := tablePool.Get().(*hashtable.Table); t != nil && t.Cap() == hashtable.SizeFor(capacityHint) {
+		t.Reset()
+		return t
+	}
+	return hashtable.New(capacityHint)
+}
 
 // Stats reports one cleanup pass.
 type Stats struct {
@@ -54,9 +69,20 @@ func run(d *gpu.Device, a *aig.AIG, tableCap int) (*aig.AIG, Stats) {
 	for i := range remap {
 		remap[i] = aig.MakeLit(int32(i), false)
 	}
-	ht := hashtable.New(tableCap)
+	ht := acquireTable(tableCap)
+	defer tablePool.Put(ht)
 	merged := make([]int32, len(byLevel))
 	trivial := make([]int32, len(byLevel))
+	maxBatch := 0
+	for _, b := range byLevel {
+		if len(b) > maxBatch {
+			maxBatch = len(b)
+		}
+	}
+	// Per-thread counter arrays are sized for the largest level once, instead
+	// of being reallocated for every level batch.
+	mergedAll := make([]int32, maxBatch)
+	trivialAll := make([]int32, maxBatch)
 
 	for lv := int32(1); lv <= maxLevel; lv++ {
 		batch := byLevel[lv]
@@ -65,8 +91,10 @@ func run(d *gpu.Device, a *aig.AIG, tableCap int) (*aig.AIG, Stats) {
 		}
 		st.Levels++
 		var mergedHere, trivialHere int32
-		mergedPer := make([]int32, len(batch))
-		trivialPer := make([]int32, len(batch))
+		mergedPer := mergedAll[:len(batch)]
+		trivialPer := trivialAll[:len(batch)]
+		clear(mergedPer)
+		clear(trivialPer)
 		// A full hash table degrades gracefully: the batch is retried after
 		// growing the table (rehashing happens between launches, where
 		// single-threaded access is safe). The kernel is idempotent — fanin

@@ -20,6 +20,7 @@ import (
 	"aigre/internal/balance"
 	"aigre/internal/dedup"
 	"aigre/internal/gpu"
+	"aigre/internal/rcache"
 	"aigre/internal/refactor"
 	"aigre/internal/resub"
 	"aigre/internal/rewrite"
@@ -70,6 +71,10 @@ type Config struct {
 	// internal/cec). This is the CLI -verify flag; it is complete but can be
 	// much slower than the default sampling gate.
 	Verify bool
+	// Cache is the resynthesis cache shared by the rewriting and refactoring
+	// commands (nil = the process-wide rcache.Default). Optimization results
+	// are identical with or without it; it only cuts host wall-clock.
+	Cache *rcache.Cache
 }
 
 func (c Config) normalized() Config {
@@ -84,6 +89,9 @@ func (c Config) normalized() Config {
 	}
 	if c.GateRounds == 0 {
 		c.GateRounds = 4
+	}
+	if c.Cache == nil {
+		c.Cache = rcache.Default
 	}
 	return c
 }
@@ -114,6 +122,11 @@ type Result struct {
 	// structural invariant check or the equivalence gate, and what the
 	// guarded runner did about it. Empty on a clean run.
 	Incidents []Incident
+	// CacheStats is the resynthesis-cache traffic observed during this run
+	// (a before/after delta of the configured cache). When the cache is
+	// shared with concurrently running jobs the delta includes their traffic
+	// too — the counters are cache-global.
+	CacheStats rcache.Stats
 }
 
 // Parse splits a script like "b; rw; rfz" into commands, validating names.
@@ -165,16 +178,19 @@ func Run(ctx context.Context, a *aig.AIG, script string, cfg Config) (Result, er
 	if cfg.Device != nil {
 		cfg.Device.Bind(ctx)
 	}
+	cacheBefore := cfg.Cache.Snapshot()
 	cur := a
 	var res Result
 	for i, cmd := range cmds {
 		if cerr := ctx.Err(); cerr != nil {
 			res.AIG = cur
+			res.CacheStats = cfg.Cache.Snapshot().Sub(cacheBefore)
 			return res, fmt.Errorf("flow: script cancelled before command %d (%s): %w", i, cmd, cerr)
 		}
 		next, t, incs, err := runGuarded(ctx, cur, cmd, i, cfg)
 		if err != nil {
 			res.AIG = cur
+			res.CacheStats = cfg.Cache.Snapshot().Sub(cacheBefore)
 			return res, err
 		}
 		res.Incidents = append(res.Incidents, incs...)
@@ -186,6 +202,7 @@ func Run(ctx context.Context, a *aig.AIG, script string, cfg Config) (Result, er
 		cur = next
 	}
 	res.AIG = cur
+	res.CacheStats = cfg.Cache.Snapshot().Sub(cacheBefore)
 	return res, nil
 }
 
@@ -198,16 +215,16 @@ func runSequential(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, error) {
 		out, _ := balance.Sequential(a)
 		return out, nil
 	case "rw":
-		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: cfg.ZeroGain})
+		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: cfg.ZeroGain, Cache: cfg.Cache})
 		return out, nil
 	case "rwz":
-		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: true})
+		out, _ := rewrite.Sequential(a, rewrite.Options{ZeroGain: true, Cache: cfg.Cache})
 		return out, nil
 	case "rf":
-		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: cfg.ZeroGain})
+		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: cfg.ZeroGain, Cache: cfg.Cache})
 		return out, nil
 	case "rfz":
-		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: true})
+		out, _ := refactor.Sequential(a, refactor.Options{MaxCut: cfg.MaxCut, ZeroGain: true, Cache: cfg.Cache})
 		return out, nil
 	case "rs":
 		out, _ := resub.Sequential(a, resub.Options{})
@@ -232,12 +249,12 @@ func runParallel(a *aig.AIG, cmd string, cfg Config) (*aig.AIG, CommandTiming, e
 			passes = cfg.RwzPasses
 		}
 		for p := 0; p < passes; p++ {
-			a, _ = rewrite.Parallel(d, a, rewrite.Options{ZeroGain: cmd == "rwz"})
+			a, _ = rewrite.Parallel(d, a, rewrite.Options{ZeroGain: cmd == "rwz", Cache: cfg.Cache})
 		}
 		needDedup = true
 	case "rf", "rfz":
 		for p := 0; p < cfg.RfPasses; p++ {
-			a, _ = refactor.Parallel(d, a, refactor.Options{MaxCut: cfg.MaxCut})
+			a, _ = refactor.Parallel(d, a, refactor.Options{MaxCut: cfg.MaxCut, Cache: cfg.Cache})
 		}
 		needDedup = true
 	case "rs":

@@ -16,6 +16,7 @@ func benchKeys(n int) []uint64 {
 
 func BenchmarkLinearInsertQuery(b *testing.B) {
 	keys := benchKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := New(len(keys))
@@ -30,6 +31,7 @@ func BenchmarkLinearInsertQuery(b *testing.B) {
 
 func BenchmarkChainedInsertQuery(b *testing.B) {
 	keys := benchKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := NewChained(2 * len(keys))
@@ -48,6 +50,7 @@ func BenchmarkLinearQueryHit(b *testing.B) {
 	for j, k := range keys {
 		t.InsertUnique(k, uint32(j))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Query(keys[i&(len(keys)-1)])
@@ -60,6 +63,7 @@ func BenchmarkDump(b *testing.B) {
 	for j, k := range keys {
 		t.InsertUnique(k, uint32(j))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Dump(nil)

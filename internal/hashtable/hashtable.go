@@ -70,6 +70,31 @@ func New(capacityHint int) *Table {
 	return t
 }
 
+// SizeFor returns the slot count New(capacityHint) would allocate. Callers
+// that pool tables use it to match a recycled table against the exact size a
+// fresh one would have, keeping pooled and unpooled behavior identical.
+func SizeFor(capacityHint int) int {
+	if capacityHint < 4 {
+		capacityHint = 4
+	}
+	size := 1
+	for size < 2*capacityHint {
+		size <<= 1
+	}
+	return size
+}
+
+// Reset empties the table in place, reusing the existing arrays — the
+// allocation-free alternative to New for per-pass tables. Not safe for
+// concurrent use; call between kernel launches.
+func (t *Table) Reset() {
+	clear(t.keys)
+	for i := range t.vals {
+		t.vals[i] = invalidVal
+	}
+	atomic.StoreInt64(&t.n, 0)
+}
+
 // Len returns the number of entries.
 func (t *Table) Len() int { return int(atomic.LoadInt64(&t.n)) }
 

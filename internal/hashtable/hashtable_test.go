@@ -321,3 +321,41 @@ func TestChainedConcurrent(t *testing.T) {
 		_ = v
 	}
 }
+
+func TestResetReusesArrays(t *testing.T) {
+	ht := New(16)
+	for k := uint64(1); k <= 10; k++ {
+		ht.InsertUnique(k, uint32(k))
+	}
+	ht.Reset()
+	if ht.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", ht.Len())
+	}
+	for k := uint64(1); k <= 10; k++ {
+		if _, ok := ht.Query(k); ok {
+			t.Fatalf("key %d survived Reset", k)
+		}
+	}
+	// The table is fully usable again at its original capacity.
+	for k := uint64(100); k < 110; k++ {
+		if _, ins, err := ht.InsertUnique(k, uint32(k)); err != nil || !ins {
+			t.Fatalf("reinsert %d after Reset: ins=%v err=%v", k, ins, err)
+		}
+	}
+	if ht.Len() != 10 {
+		t.Errorf("Len after reinsert = %d", ht.Len())
+	}
+}
+
+func TestSizeFor(t *testing.T) {
+	for _, tc := range []struct{ hint, want int }{
+		{0, 8}, {1, 8}, {4, 8}, {5, 16}, {8, 16}, {9, 32}, {1000, 2048},
+	} {
+		if got := SizeFor(tc.hint); got != tc.want {
+			t.Errorf("SizeFor(%d) = %d, want %d", tc.hint, got, tc.want)
+		}
+		if New(tc.hint).Cap() != SizeFor(tc.hint) {
+			t.Errorf("New(%d).Cap() != SizeFor(%d)", tc.hint, tc.hint)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package mempool provides tiny typed free-lists for the slice scratch
+// buffers the optimization kernels re-acquire on every cone / every launch.
+// It is a thin veneer over sync.Pool: concurrency-safe, GC-friendly (idle
+// buffers are reclaimed under memory pressure), and generic so each kernel
+// package declares pools for exactly the element types it recycles
+// ([]int32, []bool, []aig.Lit, []uint64, ...).
+package mempool
+
+import "sync"
+
+// SlicePool recycles slices of T. The zero value is ready to use.
+//
+// sync.Pool stores interface values, and boxing a slice header into an
+// interface heap-allocates 24 bytes — which would make every Put cost an
+// allocation and defeat the pool. The pool therefore stores *[]T boxes and
+// recycles the boxes themselves through a second free-list, so a steady-state
+// Get/Put cycle allocates nothing.
+type SlicePool[T any] struct {
+	full  sync.Pool // *[]T boxes holding a recycled backing array
+	empty sync.Pool // *[]T boxes with a nil slice, awaiting the next Put
+}
+
+// Get returns a slice of length n. The contents are arbitrary (whatever the
+// previous user left behind); callers that need zeroed memory use GetZeroed.
+func (p *SlicePool[T]) Get(n int) []T {
+	if v := p.full.Get(); v != nil {
+		b := v.(*[]T)
+		s := *b
+		*b = nil
+		p.empty.Put(b)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	if n < 8 {
+		return make([]T, n, 8)
+	}
+	return make([]T, n)
+}
+
+// GetZeroed returns a slice of length n with every element set to the zero
+// value of T.
+func (p *SlicePool[T]) GetZeroed(n int) []T {
+	s := p.Get(n)
+	clear(s)
+	return s
+}
+
+// Put returns a slice to the pool. Passing nil or zero-capacity slices is a
+// no-op. The caller must not use s afterwards.
+func (p *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	b, _ := p.empty.Get().(*[]T)
+	if b == nil {
+		b = new([]T)
+	}
+	*b = s[:0]
+	p.full.Put(b)
+}

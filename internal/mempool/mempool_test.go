@@ -1,0 +1,57 @@
+package mempool
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	var p SlicePool[int]
+	s := p.Get(4)
+	if len(s) != 4 || cap(s) < 4 {
+		t.Fatalf("Get(4) = len %d cap %d", len(s), cap(s))
+	}
+	s[0] = 42
+	p.Put(s)
+	r := p.Get(2)
+	if len(r) != 2 {
+		t.Fatalf("Get(2) = len %d", len(r))
+	}
+	// Contents are explicitly arbitrary; GetZeroed clears them.
+	p.Put(r)
+	z := p.GetZeroed(3)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPutNilAndEmptyAreNoOps(t *testing.T) {
+	var p SlicePool[byte]
+	p.Put(nil)
+	p.Put([]byte{})
+	if s := p.Get(1); len(s) != 1 {
+		t.Fatalf("Get(1) after no-op Puts = len %d", len(s))
+	}
+}
+
+func TestGetLargerThanPooled(t *testing.T) {
+	var p SlicePool[int32]
+	p.Put(make([]int32, 8))
+	big := p.Get(100)
+	if len(big) != 100 {
+		t.Fatalf("Get(100) = len %d", len(big))
+	}
+}
+
+// TestSteadyStateDoesNotAllocate is the reason this package exists: a warm
+// Get/Put cycle must not box slice headers into fresh heap allocations.
+func TestSteadyStateDoesNotAllocate(t *testing.T) {
+	var p SlicePool[uint64]
+	p.Put(make([]uint64, 0, 64))
+	avg := testing.AllocsPerRun(100, func() {
+		s := p.Get(32)
+		p.Put(s)
+	})
+	if avg != 0 {
+		t.Errorf("warm Get/Put allocates %.1f objects per cycle, want 0", avg)
+	}
+}

@@ -1,0 +1,308 @@
+// Package rcache provides the cross-pass resynthesis cache: a memoized
+// mapping from canonical cone functions to their factored implementations.
+//
+// Arithmetic circuits are built from repeated bit slices, so the same cone
+// functions recur thousands of times — within one pass, across the repeated
+// passes of resyn2/rf_resyn, and across concurrent jobs in the batch engine.
+// ABC and mockturtle both ship a memoized resynthesis database for exactly
+// this reason. The cache has two compartments tuned to the two consumers:
+//
+//   - 4-input rewrite cuts: the key is the raw 16-bit truth table and the
+//     value its NPN-canonical representative plus the transform, stored in a
+//     fixed 65536-entry array of packed uint32 words accessed atomically
+//     (idempotent writes — Npn4Canon is deterministic, so racing writers
+//     store identical values). Lookups are wait-free and allocation-free.
+//
+//   - Large refactor cones (up to truth.MaxVars leaves): the key is the
+//     exact truth-table bit string plus the leaf count, the value the
+//     factored core.Program and its operation estimate. Entries live in
+//     mutex-protected shards selected by a 64-bit hash of the key; the map
+//     lookup itself uses the compiler's no-allocation string(buf) form, so
+//     hits allocate nothing. Keying on the full bit string (not the hash)
+//     makes collisions impossible: a hit is always the same function, which
+//     is what keeps cached and uncached runs bit-identical.
+//
+// Programs are immutable once built and Npn4Canon is deterministic, so the
+// cache never needs invalidation: a cached entry is valid for the lifetime
+// of the process, for any AIG, on any goroutine. Capacity is bounded per
+// shard; insertion over the bound evicts an arbitrary resident entry
+// (counted in Stats.Evictions), which affects only speed, never results.
+package rcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aigre/internal/core"
+	"aigre/internal/truth"
+)
+
+const (
+	// numShards spreads concurrent jobs over independent locks.
+	numShards = 16
+	// DefaultMaxEntries bounds the resident program entries of New.
+	// 12-leaf cones key at ~520 bytes plus the program; 32k entries keep
+	// the worst case around tens of megabytes.
+	DefaultMaxEntries = 32 << 10
+
+	npnPermShift  = 16
+	npnInNegShift = 21
+	npnOutNegBit  = 1 << 25
+	npnValidBit   = 1 << 26
+)
+
+// Entry is one memoized resynthesis result.
+type Entry struct {
+	// Prog is the factored implementation of the cone function. Programs
+	// are immutable; sharing one across goroutines and AIGs is safe.
+	Prog core.Program
+	// Ops is the modeled operation count of the synthesis that produced
+	// Prog. Hits charge it again: the paper's GPU threads do not share a
+	// factoring cache, so the device model must account the full work.
+	Ops int64
+}
+
+// Stats is a snapshot of the cache effectiveness counters.
+type Stats struct {
+	// Hits/Misses/Evictions count program-cache (refactor cone) traffic.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// NpnHits/NpnMisses count the 4-input NPN canonization compartment.
+	NpnHits   int64 `json:"npn_hits"`
+	NpnMisses int64 `json:"npn_misses"`
+	// Entries is the number of resident program entries at snapshot time.
+	Entries int `json:"entries"`
+}
+
+// Add returns s with o's counters added (Entries from o, the later snapshot).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		NpnHits:   s.NpnHits + o.NpnHits,
+		NpnMisses: s.NpnMisses + o.NpnMisses,
+		Entries:   o.Entries,
+	}
+}
+
+// Sub returns the counter deltas s - o (Entries from s, the later snapshot).
+// Use it to attribute cache traffic to one run of a shared cache; when other
+// goroutines use the cache concurrently, their traffic is included.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+		NpnHits:   s.NpnHits - o.NpnHits,
+		NpnMisses: s.NpnMisses - o.NpnMisses,
+		Entries:   s.Entries,
+	}
+}
+
+// Lookups returns the total program-cache probes.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits/Lookups for the program compartment (0 when idle).
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]Entry
+}
+
+// Cache is a sharded, concurrency-safe resynthesis cache. The zero value is
+// not usable; construct with New, NewWithCapacity, or Disabled. All methods
+// are safe for concurrent use and tolerate a nil receiver (nil behaves like
+// a disabled cache).
+type Cache struct {
+	disabled    bool
+	maxPerShard int
+	shards      [numShards]shard
+
+	// npn is the packed 4-input canonization table: bits 0-15 the canonical
+	// table, 16-20 the permutation index, 21-24 the input negation mask,
+	// 25 the output negation, 26 the valid bit.
+	npn [1 << 16]uint32
+
+	hits, misses, evictions atomic.Int64
+	npnHits, npnMisses      atomic.Int64
+}
+
+// New returns a cache with the default capacity bound.
+func New() *Cache { return NewWithCapacity(DefaultMaxEntries) }
+
+// NewWithCapacity returns a cache holding at most maxEntries program
+// entries (0 or negative selects DefaultMaxEntries).
+func NewWithCapacity(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	per := (maxEntries + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{maxPerShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Entry)
+	}
+	return c
+}
+
+// Disabled returns a cache that never stores and never hits — every probe
+// is a miss and Npn4 recanonizes from scratch. Used for cached-vs-uncached
+// ablations; results are identical either way, only the work repeats.
+func Disabled() *Cache { return &Cache{disabled: true} }
+
+// Default is the process-wide cache used by engines that are handed no
+// explicit cache (direct refactor/rewrite calls, flow.Run with a zero
+// Config). Runs through the aigre public API get per-run caches instead.
+var Default = New()
+
+// keyPool recycles the key-building buffers; the longest key is one byte of
+// leaf count plus truth.MaxVars worth of table words.
+var keyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1+8*truth.WordCount(truth.MaxVars))
+		return &b
+	},
+}
+
+// appendKey serializes (tt, nLeaves) into dst. Only the first WordCount
+// words matter; tables arrive normalized from cut.ConeTruth so the bits
+// above 2^n for n < 6 are part of the deterministic representation.
+func appendKey(dst []byte, tt truth.TT, nLeaves int) []byte {
+	dst = append(dst, byte(nLeaves))
+	for _, w := range tt.Words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
+// hashKey is FNV-1a over the key bytes; it selects the shard only (map
+// lookup uses the exact key), so quality beyond even spread is irrelevant.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Lookup probes the program compartment for the cone function (tt, nLeaves).
+// The hit path performs no allocation.
+func (c *Cache) Lookup(tt truth.TT, nLeaves int) (Entry, bool) {
+	if c == nil || c.disabled {
+		if c != nil {
+			c.misses.Add(1)
+		}
+		return Entry{}, false
+	}
+	bp := keyPool.Get().(*[]byte)
+	key := appendKey((*bp)[:0], tt, nLeaves)
+	s := &c.shards[hashKey(key)&(numShards-1)]
+	s.mu.Lock()
+	e, ok := s.m[string(key)] // no-alloc map probe form
+	s.mu.Unlock()
+	*bp = key[:0]
+	keyPool.Put(bp)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Store records the resynthesis result for (tt, nLeaves). When the shard is
+// full an arbitrary resident entry is evicted first.
+func (c *Cache) Store(tt truth.TT, nLeaves int, e Entry) {
+	if c == nil || c.disabled {
+		return
+	}
+	bp := keyPool.Get().(*[]byte)
+	key := appendKey((*bp)[:0], tt, nLeaves)
+	s := &c.shards[hashKey(key)&(numShards-1)]
+	s.mu.Lock()
+	if _, exists := s.m[string(key)]; !exists && len(s.m) >= c.maxPerShard {
+		for k := range s.m {
+			delete(s.m, k)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	s.m[string(key)] = e
+	s.mu.Unlock()
+	*bp = key[:0]
+	keyPool.Put(bp)
+}
+
+// Npn4 returns the NPN-canonical representative of tt and the transform
+// mapping tt onto it, memoized in the packed table. Equivalent to
+// truth.Npn4Canon (which enumerates all 768 transforms) on a miss.
+func (c *Cache) Npn4(tt uint16) (uint16, truth.Npn4Transform) {
+	if c == nil || c.disabled {
+		if c != nil {
+			c.npnMisses.Add(1)
+		}
+		return truth.Npn4Canon(tt)
+	}
+	if e := atomic.LoadUint32(&c.npn[tt]); e&npnValidBit != 0 {
+		c.npnHits.Add(1)
+		return uint16(e), truth.Npn4Transform{
+			Perm:      truth.Npn4Perm(int(e >> npnPermShift & 31)),
+			InputNeg:  uint8(e >> npnInNegShift & 15),
+			OutputNeg: e&npnOutNegBit != 0,
+		}
+	}
+	c.npnMisses.Add(1)
+	canon, tr := truth.Npn4Canon(tt)
+	e := uint32(canon) |
+		uint32(truth.Npn4PermIndex(tr.Perm))<<npnPermShift |
+		uint32(tr.InputNeg)<<npnInNegShift |
+		npnValidBit
+	if tr.OutputNeg {
+		e |= npnOutNegBit
+	}
+	atomic.StoreUint32(&c.npn[tt], e)
+	return canon, tr
+}
+
+// Entries returns the number of resident program entries.
+func (c *Cache) Entries() int {
+	if c == nil || c.disabled {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns the current counter values.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		NpnHits:   c.npnHits.Load(),
+		NpnMisses: c.npnMisses.Load(),
+		Entries:   c.Entries(),
+	}
+}

@@ -12,7 +12,6 @@
 package refactor
 
 import (
-	"encoding/binary"
 	"sync"
 
 	"aigre/internal/aig"
@@ -20,6 +19,7 @@ import (
 	"aigre/internal/cut"
 	"aigre/internal/factor"
 	"aigre/internal/gpu"
+	"aigre/internal/rcache"
 	"aigre/internal/truth"
 )
 
@@ -36,6 +36,11 @@ type Options struct {
 	// SequentialReplacement runs the parallel engine's replacement stage as
 	// a single host thread: the Table I ablation ("rf w/ seq. replace").
 	SequentialReplacement bool
+	// Cache memoizes resynthesis by cone function (nil = the process-wide
+	// rcache.Default). Programs are immutable once built, so sharing a cache
+	// across passes, runs and concurrent jobs is safe; results are identical
+	// with or without it.
+	Cache *rcache.Cache
 }
 
 // normalized fills in defaults.
@@ -49,6 +54,9 @@ func (o Options) normalized() Options {
 	if o.MaxCut > truth.MaxVars {
 		o.MaxCut = truth.MaxVars
 	}
+	if o.Cache == nil {
+		o.Cache = rcache.Default
+	}
 	return o
 }
 
@@ -60,46 +68,51 @@ type Stats struct {
 	NodesAfter      int
 }
 
-// progCache memoizes resynthesis results by cone function. Arithmetic
-// circuits consist of repeated bit slices, so the same cone functions recur
-// thousands of times; this implementation factors each distinct function
-// once. Programs are immutable once built, so sharing them is safe.
-var progCache sync.Map // string (truth table bytes + #leaves) -> progEntry
-
-type progEntry struct {
-	prog core.Program
-	ops  int64
+// scratch bundles one worker's reusable cone-evaluation memory.
+type scratch struct {
+	cs       cut.Scratch
+	es       core.EvalScratch
+	leafLits []aig.Lit
+	supp     []int
 }
 
-func cacheKey(tt truth.TT, nLeaves int) string {
-	buf := make([]byte, 1+8*len(tt.Words))
-	buf[0] = byte(nLeaves)
-	for i, w := range tt.Words {
-		binary.LittleEndian.PutUint64(buf[1+8*i:], w)
-	}
-	return string(buf)
-}
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // resynthesize computes a factored-form program for the function of rootLit
 // over leaves, together with an operation estimate for device accounting.
-func resynthesize(a *aig.AIG, rootLit aig.Lit, leaves []int32) (core.Program, int64) {
-	tt := cut.ConeTruth(a, rootLit, leaves)
+// Results are memoized in c keyed by the exact cone function, so repeated
+// functions — ubiquitous in arithmetic circuits — factor once.
+func resynthesize(a *aig.AIG, rootLit aig.Lit, leaves []int32, c *rcache.Cache, s *scratch) (core.Program, int64) {
+	tt := s.cs.ConeTruth(a, rootLit, leaves)
 	// Truth-table computation over the cone: roughly 4 nodes per leaf, one
 	// word-vector AND each.
 	coneOps := int64(4*(len(leaves)+1)) * int64(len(tt.Words))
-	key := cacheKey(tt, len(leaves))
-	if p, ok := progCache.Load(key); ok {
-		e := p.(progEntry)
+	if e, ok := c.Lookup(tt, len(leaves)); ok {
 		// The device estimate still charges the full resynthesis: the
 		// paper's GPU threads do not share a factoring cache; the host-side
 		// cache only speeds up this reproduction's wall-clock.
-		return e.prog, coneOps + e.ops
+		return e.Prog, coneOps + e.Ops
+	}
+	// Degenerate cone functions shortcut ISOP+factoring entirely; the
+	// programs are exactly what the full path would linearize.
+	s.supp = tt.SupportInto(s.supp)
+	if len(s.supp) == 0 {
+		prog := core.Program{Root: core.ConstRef(tt.Bit(0))}
+		c.Store(tt, len(leaves), rcache.Entry{Prog: prog, Ops: 1})
+		return prog, coneOps + 1
+	}
+	if len(s.supp) == 1 {
+		// f depends on one variable v: f = v or NOT v, decided by the
+		// cofactor at v=0 (minterm 0 has every variable at 0).
+		prog := core.Program{Root: core.LeafRef(s.supp[0], tt.Bit(0))}
+		c.Store(tt, len(leaves), rcache.Entry{Prog: prog, Ops: 1})
+		return prog, coneOps + 1
 	}
 	sop, compl, isopOps := truth.MinPhaseISOPCount(tt)
 	tree := factor.Factor(sop)
 	prog := core.Linearize(tree, compl)
 	ops := isopOps + int64(len(sop.Cubes)*len(sop.Cubes)) + int64(len(prog.Ops))
-	progCache.Store(key, progEntry{prog, ops})
+	c.Store(tt, len(leaves), rcache.Entry{Prog: prog, Ops: ops})
 	return prog, coneOps + ops
 }
 
@@ -133,7 +146,9 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 		if len(cone.Nodes) < 2 {
 			return 1 // nothing to gain from a single-node cone
 		}
-		prog, ops := resynthesize(a, aig.MakeLit(cone.Root, false), cone.Leaves)
+		s := scratchPool.Get().(*scratch)
+		prog, ops := resynthesize(a, aig.MakeLit(cone.Root, false), cone.Leaves, opts.Cache, s)
+		scratchPool.Put(s)
 		gain := len(cone.Nodes) - prog.NumAnds()
 		if gain >= 0 {
 			progs[tid] = prog
@@ -170,6 +185,8 @@ func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.
 	work := a.Rehash()
 	work.EnableStrash()
 	work.EnableFanouts()
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
 	var ops int64
 	for _, r := range reps {
 		ops += int64(2*len(r.Cone.Nodes) + len(r.Cone.Leaves) + 8)
@@ -190,15 +207,15 @@ func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.
 		// must still form a cut of the root (which also guarantees no cycle
 		// can arise from structural-hash reuse, since leaf-above-root and
 		// root-above-leaf cannot hold simultaneously in a DAG).
-		if !validCut(work, r.Cone.Root, r.Cone.Leaves, 4*len(r.Cone.Nodes)+16) {
+		if !s.cs.ValidCut(work, r.Cone.Root, r.Cone.Leaves, 4*len(r.Cone.Nodes)+16) {
 			continue
 		}
-		leafLits := make([]aig.Lit, len(r.Cone.Leaves))
-		for i, l := range r.Cone.Leaves {
-			leafLits[i] = aig.MakeLit(l, false)
+		s.leafLits = s.leafLits[:0]
+		for _, l := range r.Cone.Leaves {
+			s.leafLits = append(s.leafLits, aig.MakeLit(l, false))
 		}
 		ops += int64(3 * len(r.Prog.Ops))
-		newRoot, ok := core.BuildProgramAvoiding(work, r.Prog, leafLits, r.Cone.Root)
+		newRoot, ok := s.es.BuildProgramAvoiding(work, r.Prog, s.leafLits, r.Cone.Root)
 		if !ok || newRoot.Var() == r.Cone.Root {
 			continue
 		}
@@ -207,33 +224,6 @@ func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.
 	d.AddOverhead("refactor/seq-replace", ops)
 	out, _ := work.Compact()
 	return out
-}
-
-// validCut reports whether every path from root toward the PIs crosses the
-// leaf set, visiting at most budget nodes.
-func validCut(a *aig.AIG, root int32, leaves []int32, budget int) bool {
-	isLeaf := make(map[int32]bool, len(leaves))
-	for _, l := range leaves {
-		isLeaf[l] = true
-	}
-	seen := map[int32]bool{}
-	stack := []int32{root}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if isLeaf[cur] || seen[cur] {
-			continue
-		}
-		if !a.IsAnd(cur) {
-			return false // escaped to a PI or constant
-		}
-		seen[cur] = true
-		if len(seen) > budget {
-			return false
-		}
-		stack = append(stack, a.Fanin0(cur).Var(), a.Fanin1(cur).Var())
-	}
-	return true
 }
 
 // Sequential runs one pass of ABC-style refactoring (drf; drf -z when
@@ -246,6 +236,8 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 	work.EnableStrash()
 	work.EnableFanouts()
 	rc := cut.NewReconv(work)
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
 	lastOriginal := int32(work.NumObjs())
 	for id := int32(work.NumPIs() + 1); id < lastOriginal; id++ {
 		if work.IsDeleted(id) {
@@ -256,21 +248,21 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 			continue
 		}
 		st.ConesConsidered++
-		mffcMembers := core.MffcMembers(work, id, leaves)
-		mffc := len(mffcMembers)
+		members := s.es.MffcMembers(work, id, leaves)
+		mffc := len(members)
 		if mffc < 2 {
 			continue
 		}
-		prog, _ := resynthesize(work, aig.MakeLit(id, false), leaves)
-		leafLits := make([]aig.Lit, len(leaves))
-		for i, l := range leaves {
-			leafLits[i] = aig.MakeLit(l, false)
+		prog, _ := resynthesize(work, aig.MakeLit(id, false), leaves, opts.Cache, s)
+		s.leafLits = s.leafLits[:0]
+		for _, l := range leaves {
+			s.leafLits = append(s.leafLits, aig.MakeLit(l, false))
 		}
-		gain := mffc - core.DryRunCost(work, prog, leafLits, mffcMembers)
+		gain := mffc - s.es.DryRunCost(work, prog, s.leafLits)
 		if gain < 0 || (gain == 0 && !opts.ZeroGain) {
 			continue
 		}
-		newRoot, ok := core.BuildProgramAvoiding(work, prog, leafLits, id)
+		newRoot, ok := s.es.BuildProgramAvoiding(work, prog, s.leafLits, id)
 		if !ok || newRoot.Var() == id {
 			continue // resynthesis reproduced the node being replaced
 		}

@@ -165,6 +165,17 @@ func evaluateNode(a *aig.AIG, rc *cut.Reconv, fanouts func(int32) []int32, id in
 		return candidate{}, false, ops
 	}
 	n := ttN.NVars
+	// Support-mask prefilter: complementation preserves support and
+	// supp(x AND y) is contained in supp(x) OR supp(y), so a divisor pair
+	// whose combined support does not cover the target's support can never
+	// match in any phase. The masks are a host-side shortcut only — the
+	// modeled device ops are charged exactly as without the filter.
+	suppBuf := make([]int, 0, n)
+	targetMask := supportMask(ttN, &suppBuf)
+	divMask := make([]uint32, len(ds.truths))
+	for i := range ds.truths {
+		divMask[i] = supportMask(ds.truths[i], &suppBuf)
+	}
 	for i := 0; i < len(ds.ids); i++ {
 		if ds.ids[i] == id {
 			continue
@@ -174,6 +185,9 @@ func evaluateNode(a *aig.AIG, rc *cut.Reconv, fanouts func(int32) []int32, id in
 				continue
 			}
 			ops += 4
+			if targetMask&^(divMask[i]|divMask[j]) != 0 {
+				continue
+			}
 			for phase := 0; phase < 4; phase++ {
 				ti := ds.truths[i]
 				tj := ds.truths[j]
@@ -195,6 +209,17 @@ func evaluateNode(a *aig.AIG, rc *cut.Reconv, fanouts func(int32) []int32, id in
 		}
 	}
 	return candidate{}, false, ops
+}
+
+// supportMask folds a table's support (via the allocation-free SupportInto)
+// into a variable bitmask.
+func supportMask(t truth.TT, buf *[]int) uint32 {
+	*buf = t.SupportInto(*buf)
+	m := uint32(0)
+	for _, v := range *buf {
+		m |= 1 << uint(v)
+	}
+	return m
 }
 
 func andOf(n int, ti, tj truth.TT, negJ bool) truth.TT {

@@ -1,34 +1,14 @@
 package rewrite
 
 import (
-	"sort"
 	"sync"
 
 	"aigre/internal/aig"
 	"aigre/internal/core"
 	"aigre/internal/cut"
 	"aigre/internal/gpu"
-	"aigre/internal/truth"
+	"aigre/internal/rcache"
 )
-
-// canonCache memoizes NPN canonization (768 transforms per miss) across all
-// rewriting passes; at most 65536 entries.
-var canonCache sync.Map // uint16 -> canonEntry
-
-type canonEntry struct {
-	canon uint16
-	tr    truth.Npn4Transform
-}
-
-func canonize(tt uint16) (uint16, truth.Npn4Transform) {
-	if e, ok := canonCache.Load(tt); ok {
-		ce := e.(canonEntry)
-		return ce.canon, ce.tr
-	}
-	canon, tr := truth.Npn4Canon(tt)
-	canonCache.Store(tt, canonEntry{canon, tr})
-	return canon, tr
-}
 
 // Options controls both engines.
 type Options struct {
@@ -39,6 +19,9 @@ type Options struct {
 	MaxCutsPerNode int
 	// Library overrides the NPN subgraph library (nil = DefaultLibrary).
 	Library *Library
+	// Cache memoizes NPN canonization (768 transforms per miss) across
+	// passes and runs (nil = the process-wide rcache.Default).
+	Cache *rcache.Cache
 }
 
 func (o Options) normalized() Options {
@@ -47,6 +30,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Library == nil {
 		o.Library = DefaultLibrary
+	}
+	if o.Cache == nil {
+		o.Cache = rcache.Default
 	}
 	return o
 }
@@ -59,23 +45,40 @@ type Stats struct {
 	NodesAfter      int
 }
 
+// evalScratch bundles the reusable working memory of one evaluation worker:
+// cut enumeration storage, cone-truth stamps, and MFFC/dry-run stamps.
+// In steady state a node evaluation allocates only the winning candidate's
+// leaf copy.
+type evalScratch struct {
+	cs cut.Scratch
+	es core.EvalScratch
+
+	seen   map[[4]int32]bool
+	qbuf   []int32 // flat queue storage; item i is qbuf[qoff[i]:qoff[i+1]]
+	qoff   []int32
+	cutBuf []int32   // flat storage of accepted cuts
+	cuts   [][]int32 // headers into cutBuf, reused across nodes
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &evalScratch{seen: make(map[[4]int32]bool, 32)} },
+}
+
 // enumLocalCuts enumerates 4-feasible cuts of n on the current graph by
 // breadth-first leaf expansion (the trivial cut excluded). Results are leaf
-// id sets, sorted, deduplicated, capped at maxCuts.
-func enumLocalCuts(a *aig.AIG, n int32, maxCuts int) [][]int32 {
-	type key [4]int32
-	mk := func(ls []int32) key {
-		var k key
-		copy(k[:], ls)
-		return k
-	}
-	seen := map[key]bool{}
-	var cuts [][]int32
-	queue := [][]int32{{a.Fanin0(n).Var(), a.Fanin1(n).Var()}}
-	for len(queue) > 0 && len(cuts) < maxCuts {
-		cur := queue[0]
-		queue = queue[1:]
-		sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+// id sets, sorted, deduplicated, capped at maxCuts; the returned slices are
+// owned by the scratch and valid until its next call.
+func enumLocalCuts(a *aig.AIG, n int32, maxCuts int, s *evalScratch) [][]int32 {
+	clear(s.seen)
+	s.qbuf = append(s.qbuf[:0], a.Fanin0(n).Var(), a.Fanin1(n).Var())
+	s.qoff = append(s.qoff[:0], 0, 2)
+	s.cutBuf = s.cutBuf[:0]
+	s.cuts = s.cuts[:0]
+	head := 0
+	for head < len(s.qoff)-1 && len(s.cuts) < maxCuts {
+		cur := s.qbuf[s.qoff[head]:s.qoff[head+1]]
+		head++
+		sortInt32(cur)
 		// Remove duplicates within the leaf set.
 		ls := cur[:0]
 		for i, v := range cur {
@@ -83,34 +86,63 @@ func enumLocalCuts(a *aig.AIG, n int32, maxCuts int) [][]int32 {
 				ls = append(ls, v)
 			}
 		}
-		if seen[mk(ls)] {
+		var k [4]int32
+		copy(k[:], ls)
+		if s.seen[k] {
 			continue
 		}
-		seen[mk(ls)] = true
+		s.seen[k] = true
 		hasConst := len(ls) > 0 && ls[0] == 0
 		if !hasConst && len(ls) >= 2 {
-			cuts = append(cuts, append([]int32(nil), ls...))
+			off := len(s.cutBuf)
+			s.cutBuf = append(s.cutBuf, ls...)
+			s.cuts = append(s.cuts, s.cutBuf[off:len(s.cutBuf):len(s.cutBuf)])
 		}
 		// Expand each AND leaf.
 		for i, v := range ls {
 			if !a.IsAnd(v) {
 				continue
 			}
-			next := make([]int32, 0, len(ls)+1)
-			next = append(next, ls[:i]...)
-			next = append(next, ls[i+1:]...)
-			next = append(next, a.Fanin0(v).Var(), a.Fanin1(v).Var())
+			off := len(s.qbuf)
+			s.qbuf = append(s.qbuf, ls[:i]...)
+			s.qbuf = append(s.qbuf, ls[i+1:]...)
+			s.qbuf = append(s.qbuf, a.Fanin0(v).Var(), a.Fanin1(v).Var())
 			// Bound before dedup: the union can shrink back under 4.
-			uniq := map[int32]bool{}
-			for _, u := range next {
-				uniq[u] = true
-			}
-			if len(uniq) <= 4 {
-				queue = append(queue, next)
+			if uniqueCount(s.qbuf[off:]) <= 4 {
+				s.qoff = append(s.qoff, int32(len(s.qbuf)))
+			} else {
+				s.qbuf = s.qbuf[:off]
 			}
 		}
 	}
-	return cuts
+	return s.cuts
+}
+
+// sortInt32 sorts tiny leaf sets (at most five entries) by insertion.
+func sortInt32(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// uniqueCount counts distinct values in a tiny slice.
+func uniqueCount(v []int32) int {
+	n := 0
+	for i, x := range v {
+		dup := false
+		for _, y := range v[:i] {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // candidate is the best rewriting found for a node.
@@ -126,34 +158,35 @@ type candidate struct {
 // evaluateNode finds the best library-based rewriting of node n on the
 // current graph. Requires live fanout counts on a. Returns ok=false when no
 // cut yields acceptable gain.
-func evaluateNode(a *aig.AIG, n int32, opts Options) (candidate, bool, int64) {
+func evaluateNode(a *aig.AIG, n int32, opts Options, s *evalScratch) (candidate, bool, int64) {
 	var best candidate
+	var bestLeaves []int32
 	found := false
-	cuts := enumLocalCuts(a, n, opts.MaxCutsPerNode)
+	cuts := enumLocalCuts(a, n, opts.MaxCutsPerNode, s)
 	// Cut enumeration explores roughly a handful of expansions per kept cut.
 	ops := int64(1 + 20*len(cuts))
 	for _, leaves := range cuts {
-		tt16, ok := cut.ConeTruth16(a, aig.MakeLit(n, false), leaves)
+		tt16, ok := s.cs.ConeTruth16(a, aig.MakeLit(n, false), leaves)
 		if !ok {
 			continue
 		}
 		ops += int64(30 + 4*len(leaves))
 		padded := pad16(tt16, len(leaves))
-		canon, tr := canonize(padded)
+		canon, tr := opts.Cache.Npn4(padded)
 		prog, _ := opts.Library.Best(canon)
 		mapped, outNeg := mapLeaves(leaves, tr)
-		mffcMembers := core.MffcMembers(a, n, leaves)
-		gain := len(mffcMembers) - core.DryRunCost(a, progWithOutput(prog, outNeg), mapped[:], mffcMembers)
-		ops += int64(2*len(prog.Ops) + len(mffcMembers))
+		members := s.es.MffcMembers(a, n, leaves)
+		gain := len(members) - s.es.DryRunCost(a, progWithOutput(prog, outNeg), mapped[:])
+		ops += int64(2*len(prog.Ops) + len(members))
 		if !found || gain > best.gain {
 			best = candidate{
-				leaves: leaves,
 				tt:     padded,
 				prog:   progWithOutput(prog, outNeg),
 				mapped: mapped,
 				outNeg: outNeg,
 				gain:   gain,
 			}
+			bestLeaves = leaves
 			found = true
 		}
 	}
@@ -163,6 +196,9 @@ func evaluateNode(a *aig.AIG, n int32, opts Options) (candidate, bool, int64) {
 	if best.gain < 0 || (best.gain == 0 && !opts.ZeroGain) {
 		return candidate{}, false, ops
 	}
+	// The winning cut escapes the scratch (candidates outlive the evaluation
+	// kernel); copy it once here instead of copying every enumerated cut.
+	best.leaves = append([]int32(nil), bestLeaves...)
 	return best, true, ops
 }
 
@@ -199,7 +235,7 @@ func pad16(w uint16, k int) uint16 {
 
 // applyCandidate validates cand against the current graph and applies it in
 // place. Returns whether the node was rewritten.
-func applyCandidate(work *aig.AIG, n int32, cand candidate, opts Options, revalidate bool) bool {
+func applyCandidate(work *aig.AIG, n int32, cand candidate, opts Options, revalidate bool, s *evalScratch) bool {
 	if work.IsDeleted(n) {
 		return false
 	}
@@ -212,17 +248,17 @@ func applyCandidate(work *aig.AIG, n int32, cand candidate, opts Options, revali
 		// The graph may have changed since evaluation: check the cut still
 		// bounds the cone and computes the same function, and recompute the
 		// gain (the on-the-fly re-evaluation of [9]).
-		tt16, ok := cut.ConeTruth16(work, aig.MakeLit(n, false), cand.leaves)
+		tt16, ok := s.cs.ConeTruth16(work, aig.MakeLit(n, false), cand.leaves)
 		if !ok || pad16(tt16, len(cand.leaves)) != cand.tt {
 			return false
 		}
-		mffcMembers := core.MffcMembers(work, n, cand.leaves)
-		gain := len(mffcMembers) - core.DryRunCost(work, cand.prog, cand.mapped[:], mffcMembers)
+		members := s.es.MffcMembers(work, n, cand.leaves)
+		gain := len(members) - s.es.DryRunCost(work, cand.prog, cand.mapped[:])
 		if gain < 0 || (gain == 0 && !opts.ZeroGain) {
 			return false
 		}
 	}
-	newRoot, ok := core.BuildProgramAvoiding(work, cand.prog, cand.mapped[:], n)
+	newRoot, ok := s.es.BuildProgramAvoiding(work, cand.prog, cand.mapped[:], n)
 	if !ok || newRoot.Var() == n {
 		return false
 	}
@@ -238,17 +274,19 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 	work := a.Rehash()
 	work.EnableStrash()
 	work.EnableFanouts()
+	s := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(s)
 	lastOriginal := int32(work.NumObjs())
 	for id := int32(work.NumPIs() + 1); id < lastOriginal; id++ {
 		if work.IsDeleted(id) {
 			continue
 		}
 		st.NodesConsidered++
-		cand, ok, _ := evaluateNode(work, id, opts)
+		cand, ok, _ := evaluateNode(work, id, opts, s)
 		if !ok {
 			continue
 		}
-		if applyCandidate(work, id, cand, opts, false) {
+		if applyCandidate(work, id, cand, opts, false, s) {
 			st.NodesRewritten++
 		}
 	}
@@ -270,22 +308,24 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 	work.EnableFanouts()
 
 	// Parallel evaluation kernel: one thread per AND node.
-	n := work.NumObjs()
 	nodes := make([]int32, 0, work.NumAnds())
 	work.ForEachAnd(func(id int32) { nodes = append(nodes, id) })
 	cands := make([]candidate, len(nodes))
 	oks := make([]bool, len(nodes))
 	d.Launch("rewrite/evaluate", len(nodes), func(tid int) int64 {
-		cand, ok, ops := evaluateNode(work, nodes[tid], opts)
+		s := scratchPool.Get().(*evalScratch)
+		cand, ok, ops := evaluateNode(work, nodes[tid], opts, s)
+		scratchPool.Put(s)
 		cands[tid] = cand
 		oks[tid] = ok
 		return ops
 	})
 	st.NodesConsidered = len(nodes)
-	_ = n
 
 	// Sequential replacement with re-evaluation (the data-race-avoiding
 	// step of [9]); accounted as host-sequential time.
+	s := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(s)
 	var seqOps int64
 	for i, id := range nodes {
 		seqOps += 2
@@ -295,7 +335,7 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 		// Re-evaluation (cone truth, MFFC, dry run) plus the replacement
 		// itself are host-sequential work in [9].
 		seqOps += int64(40 + 3*len(cands[i].prog.Ops))
-		if applyCandidate(work, id, cands[i], opts, true) {
+		if applyCandidate(work, id, cands[i], opts, true, s) {
 			st.NodesRewritten++
 			seqOps += int64(2*len(cands[i].prog.Ops) + 16)
 		}

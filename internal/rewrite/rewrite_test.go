@@ -105,7 +105,9 @@ func TestEnumLocalCuts(t *testing.T) {
 	n2 := a.NewAnd(a.PI(2), a.PI(3))
 	n3 := a.NewAnd(n1, n2)
 	a.AddPO(n3)
-	cuts := enumLocalCuts(a, n3.Var(), 8)
+	s := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(s)
+	cuts := enumLocalCuts(a, n3.Var(), 8, s)
 	// Expect {n1,n2}, {n1,x2,x3}, {x0,x1,n2}, {x0,x1,x2,x3}.
 	if len(cuts) != 4 {
 		t.Errorf("cuts = %v, want 4", cuts)

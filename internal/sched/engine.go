@@ -11,6 +11,7 @@ import (
 	"aigre/internal/aig"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
+	"aigre/internal/rcache"
 )
 
 // Job is one batch-optimization request: run Script over AIG under Config.
@@ -61,6 +62,9 @@ type Result struct {
 	Timings   []flow.CommandTiming
 	Incidents []flow.Incident
 	Profile   []gpu.KernelProfile
+	// CacheStats is the resynthesis-cache traffic observed during the job
+	// (cache-global delta: with a shared cache it includes concurrent jobs').
+	CacheStats rcache.Stats
 }
 
 // Metrics aggregates an engine's fleet statistics.
@@ -291,6 +295,7 @@ func (e *Engine) run(q *queuedJob) Result {
 	res.Modeled = fres.TotalModeled
 	res.Timings = fres.Timings
 	res.Incidents = fres.Incidents
+	res.CacheStats = fres.CacheStats
 	res.AIG = fres.AIG
 	if cfg.Device != nil {
 		res.Profile = cfg.Device.Profile()

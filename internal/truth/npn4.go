@@ -14,7 +14,26 @@ type Npn4Transform struct {
 	OutputNeg bool
 }
 
-var perms4 = [24][4]uint8{}
+// Npn4NumPerms is the number of input permutations enumerated by Npn4Canon.
+const Npn4NumPerms = 24
+
+var perms4 = [Npn4NumPerms][4]uint8{}
+
+// Npn4Perm returns the i-th input permutation (0 <= i < Npn4NumPerms). The
+// enumeration order is fixed, so an index is a compact stand-in for the
+// permutation (used by the packed NPN cache in internal/rcache).
+func Npn4Perm(i int) [4]uint8 { return perms4[i] }
+
+// Npn4PermIndex returns the index of perm within the enumeration, or -1 if
+// perm is not a permutation of {0,1,2,3}.
+func Npn4PermIndex(perm [4]uint8) int {
+	for i := range perms4 {
+		if perms4[i] == perm {
+			return i
+		}
+	}
+	return -1
+}
 
 func init() {
 	i := 0

@@ -92,6 +92,58 @@ func (t TT) Clone() TT {
 	return TT{NVars: t.NVars, Words: append([]uint64(nil), t.Words...)}
 }
 
+// Fill sets t to the constant table with the given value in place.
+func (t TT) Fill(value bool) TT {
+	w := uint64(0)
+	if value {
+		w = ^uint64(0)
+	}
+	for i := range t.Words {
+		t.Words[i] = w
+	}
+	return t
+}
+
+// SetVar fills t with the table of variable v in place (Var without the
+// allocation).
+func (t TT) SetVar(v int) TT {
+	if v < 0 || v >= t.NVars {
+		panic(fmt.Sprintf("truth: variable %d out of range for %d vars", v, t.NVars))
+	}
+	if v < 6 {
+		for i := range t.Words {
+			t.Words[i] = varMasks[v]
+		}
+		return t
+	}
+	step := 1 << (v - 6)
+	for i := range t.Words {
+		if i&step != 0 {
+			t.Words[i] = ^uint64(0)
+		} else {
+			t.Words[i] = 0
+		}
+	}
+	return t
+}
+
+// AndCompl stores (x XOR nx) AND (y XOR ny) into t: the AND of the two
+// operands with optional input complementation, fused so callers need no
+// temporary for the NOT.
+func (t TT) AndCompl(x TT, nx bool, y TT, ny bool) TT {
+	mx, my := uint64(0), uint64(0)
+	if nx {
+		mx = ^uint64(0)
+	}
+	if ny {
+		my = ^uint64(0)
+	}
+	for i := range t.Words {
+		t.Words[i] = (x.Words[i] ^ mx) & (y.Words[i] ^ my)
+	}
+	return t
+}
+
 // And stores x AND y into t (t may alias either operand).
 func (t TT) And(x, y TT) TT {
 	for i := range t.Words {
@@ -252,22 +304,37 @@ func (t TT) Cofactor1(x TT, v int) TT {
 	return t
 }
 
-// DependsOn reports whether the function depends on variable v.
+// DependsOn reports whether the function depends on variable v. It compares
+// the two cofactors in place without allocating.
 func (t TT) DependsOn(v int) bool {
-	c0 := New(t.NVars).Cofactor0(t, v)
-	c1 := New(t.NVars).Cofactor1(t, v)
-	return !c0.Equal(c1)
+	if t.NVars < 6 {
+		// Single word with garbage above the meaningful bits: mask first so
+		// tables built through different op sequences agree.
+		m := usedMask(t.NVars)
+		w := t.Words[0] & m
+		shift := uint(1) << v
+		return (w&varMasks[v])>>shift != w&^varMasks[v]
+	}
+	return dependsOn(t, v)
+}
+
+// SupportInto writes the indices of the variables the function depends on
+// into dst[:0] and returns the extended slice. It performs no allocation
+// when dst has sufficient capacity (NVars is always enough).
+func (t TT) SupportInto(dst []int) []int {
+	dst = dst[:0]
+	for v := 0; v < t.NVars; v++ {
+		if t.DependsOn(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }
 
 // Support returns the indices of the variables the function depends on.
+// Allocating convenience wrapper around SupportInto.
 func (t TT) Support() []int {
-	var sup []int
-	for v := 0; v < t.NVars; v++ {
-		if t.DependsOn(v) {
-			sup = append(sup, v)
-		}
-	}
-	return sup
+	return t.SupportInto(nil)
 }
 
 // String renders the table as a hex string (most significant word first),

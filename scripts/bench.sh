@@ -1,0 +1,94 @@
+#!/bin/sh
+# Benchmark-regression harness: rerun the paper-table benchmarks with
+# -benchmem, compare ns/op and allocs/op against the recorded pre-cache
+# baseline (scripts/bench_baseline.txt), write the combined report to
+# BENCH_5.json, and fail the run on gross regressions:
+#
+#   - allocs/op more than 10% above baseline (allocation counts are
+#     deterministic, so even small regressions are real), or
+#   - ns/op more than 50% above a baseline of at least 100ms. Sub-100ms
+#     single-iteration wall times swing 2-3x with GC state inherited from
+#     earlier benchmarks in the same process, so for those the time ratio is
+#     reported but never gates.
+#
+# Run from anywhere; `make bench` is an alias. Override the iteration count
+# with BENCHTIME (default 1x, matching how the baseline was recorded).
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+BASELINE=scripts/bench_baseline.txt
+OUT="${BENCH_OUT:-BENCH_5.json}"
+CUR=$(mktemp)
+trap 'rm -f "$CUR"' EXIT
+
+echo "bench: running Table/Fig benchmarks (-benchtime=$BENCHTIME -benchmem)..." >&2
+go test -run '^$' -bench 'Table|Fig8' -benchmem -benchtime="$BENCHTIME" . | tee "$CUR" >&2
+
+awk -v baseline="$BASELINE" -v out="$OUT" -v benchtime="$BENCHTIME" '
+function parseline(line, vals,   n, parts, i) {
+    # "BenchmarkX  N  123 ns/op  456 B/op  789 allocs/op  [extra metrics]"
+    n = split(line, parts, /[ \t]+/)
+    vals["name"] = parts[1]
+    for (i = 3; i < n; i += 2) {
+        if (parts[i+1] == "ns/op")     vals["ns"] = parts[i]
+        if (parts[i+1] == "B/op")      vals["bytes"] = parts[i]
+        if (parts[i+1] == "allocs/op") vals["allocs"] = parts[i]
+    }
+}
+BEGIN {
+    while ((getline line < baseline) > 0) {
+        if (line !~ /^Benchmark/) continue
+        delete v; parseline(line, v)
+        base_ns[v["name"]] = v["ns"]
+        base_allocs[v["name"]] = v["allocs"]
+        base_bytes[v["name"]] = v["bytes"]
+    }
+    close(baseline)
+}
+/^Benchmark/ {
+    delete v; parseline($0, v)
+    names[++count] = v["name"]
+    cur_ns[v["name"]] = v["ns"]
+    cur_allocs[v["name"]] = v["allocs"]
+    cur_bytes[v["name"]] = v["bytes"]
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime > out
+    fails = 0
+    for (i = 1; i <= count; i++) {
+        name = names[i]
+        # Strip the Benchmark prefix and the per-run iteration suffix go
+        # sometimes appends (BenchmarkFoo-8).
+        short = name; sub(/^Benchmark/, "", short); sub(/-[0-9]+$/, "", short)
+        full = "Benchmark" short
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+            short, cur_ns[name], cur_bytes[name], cur_allocs[name] > out
+        if (full in base_allocs) {
+            ns_ratio = cur_ns[name] / base_ns[full]
+            allocs_ratio = (base_allocs[full] > 0) ? cur_allocs[name] / base_allocs[full] : 1
+            printf ", \"baseline_ns_per_op\": %s, \"baseline_allocs_per_op\": %s", \
+                base_ns[full], base_allocs[full] > out
+            printf ", \"ns_ratio\": %.3f, \"allocs_ratio\": %.3f", ns_ratio, allocs_ratio > out
+            status = "ok"
+            if (allocs_ratio > 1.10) { status = "allocs-regression"; fails++ }
+            if (ns_ratio > 1.50 && base_ns[full] >= 100000000) { status = "time-regression"; fails++ }
+            printf ", \"status\": \"%s\"", status > out
+            printf "bench: %-40s ns/op %12s -> %12s (x%.2f)  allocs/op %9s -> %9s (x%.2f)  %s\n", \
+                short, base_ns[full], cur_ns[name], ns_ratio, \
+                base_allocs[full], cur_allocs[name], allocs_ratio, status
+        } else {
+            printf ", \"status\": \"no-baseline\"", "" > out
+            printf "bench: %-40s (no baseline)\n", short
+        }
+        printf "%s\n", (i < count) ? "}," : "}" > out
+    }
+    printf "  ],\n  \"regressions\": %d\n}\n", fails > out
+    close(out)
+    if (fails > 0) {
+        printf "bench: FAIL — %d gross regression(s) vs %s\n", fails, baseline
+        exit 1
+    }
+    printf "bench: PASS — report written to %s\n", out
+}
+' "$CUR"

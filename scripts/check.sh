@@ -19,6 +19,9 @@ go vet ./...
 go test -race ./...
 # Fault-injection / recovery paths, explicitly, under -race.
 go test -race -run 'Fault|Guard|TableFull' ./internal/gpu/ ./internal/flow/ ./internal/hashtable/
+# Resynthesis cache: concurrent mixed NPN/program traffic on one cache and
+# the 8-job shared-cache batch stress, explicitly, under -race.
+go test -race -run 'TestConcurrentMixedTraffic|TestSharedCacheBatchStress|TestCachedRunsMatchUncached' ./internal/rcache/ .
 # Batch scheduler: shared-budget stress and cancellation, explicitly, under
 # -race (concurrent jobs over a tiny pool must respect the worker budget and
 # stop promptly on cancel, with no goroutine leaks).
