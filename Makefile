@@ -12,7 +12,7 @@ test:
 race:
 	go test -race ./...
 
-bench: ## paper-table benchmarks + regression gate vs scripts/bench_baseline.txt -> BENCH_5.json
+bench: ## paper-table + partition benchmarks + regression gate vs scripts/bench_baseline.txt -> BENCH_<scripts/pr_sequence>.json
 	./scripts/bench.sh
 
 bench-all:

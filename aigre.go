@@ -161,6 +161,16 @@ type Options struct {
 	// refactoring engines (nil = a process-wide default cache). Results are
 	// bit-identical with or without it. See Cache.
 	Cache *Cache
+	// Partition, when its Mode is not PartitionOff, makes Run (and the
+	// sequence entry points built on it) optimize partition-parallel: the
+	// network is split into size-bounded partitions, each partition runs the
+	// script as an independent prioritized job over a bounded worker pool
+	// sharing one resynthesis cache, and the results are stitched back with
+	// seam conflict breaking, equivalence gating, and per-partition rollback.
+	// Result.Partition carries the per-partition report. FaultPlans are
+	// ignored in partitioned runs (partition jobs lease device capacity from
+	// a shared pool). See PartitionOptions.
+	Partition PartitionOptions
 }
 
 // Result reports an optimization run.
@@ -186,6 +196,10 @@ type Result struct {
 	// (a before/after delta of the configured cache; when the cache is shared
 	// with concurrent runs the delta includes their traffic too).
 	CacheStats CacheStats
+	// Partition is the partition-parallel report of a run with
+	// Options.Partition enabled (nil otherwise): partitioning mode, seam
+	// conflicts found and broken, rollbacks, and one row per partition.
+	Partition *PartitionReport
 }
 
 // New returns an empty network with the given number of primary inputs.
@@ -330,6 +344,22 @@ func (o Options) rcache() *rcache.Cache {
 		return o.Cache.c
 	}
 	return rcache.Default
+}
+
+// flowConfig maps the engine parameters onto a flow.Config (no device: Run
+// attaches one for whole-network parallel scripts, partition jobs lease
+// device capacity from their pool).
+func (o Options) flowConfig() flow.Config {
+	return flow.Config{
+		Parallel:   o.Parallel,
+		MaxCut:     o.MaxCut,
+		RwzPasses:  o.RwzPasses,
+		RfPasses:   o.Passes,
+		ZeroGain:   o.ZeroGain,
+		Verify:     o.Verify,
+		GateRounds: o.GateRounds,
+		Cache:      o.rcache(),
+	}
 }
 
 // algo describes one single-algorithm entry point for runAlgo: the two
@@ -501,16 +531,10 @@ func (n *Network) Run(ctx context.Context, script string, opts Options) (Result,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg := flow.Config{
-		Parallel:   opts.Parallel,
-		MaxCut:     opts.MaxCut,
-		RwzPasses:  opts.RwzPasses,
-		RfPasses:   opts.Passes,
-		ZeroGain:   opts.ZeroGain,
-		Verify:     opts.Verify,
-		GateRounds: opts.GateRounds,
-		Cache:      opts.rcache(),
+	if opts.Partition.Mode != PartitionOff {
+		return n.runPartitioned(ctx, script, opts)
 	}
+	cfg := opts.flowConfig()
 	if opts.Parallel {
 		cfg.Device = opts.device()
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aigre/internal/flow"
+	"aigre/internal/partition"
 	"aigre/internal/sched"
 )
 
@@ -39,7 +40,9 @@ type Batch struct {
 	// Options selects engine parameters for this job. Options.Workers is
 	// ignored (the pool is shared; use Batch.Workers for the lease cap) and
 	// Options.FaultPlans is ignored (leased devices share the pool, so
-	// per-job fault plans are not supported).
+	// per-job fault plans are not supported). Options.Partition is honored:
+	// the job then optimizes partition-parallel, fanning its partitions onto
+	// the batch's shared pool, and BatchResult.Partition carries the report.
 	Options Options
 }
 
@@ -88,6 +91,9 @@ type BatchResult struct {
 	// The counters are cache-global: under a shared cache the delta includes
 	// concurrently running jobs' traffic.
 	CacheStats CacheStats
+	// Partition is the partition-parallel report of a job whose
+	// Options.Partition was enabled (nil otherwise).
+	Partition *PartitionReport
 }
 
 // BatchMetrics aggregates fleet statistics of one RunBatch call.
@@ -130,6 +136,7 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 		return nil, BatchMetrics{}, fmt.Errorf("aigre: empty batch")
 	}
 	sjobs := make([]sched.Job, len(jobs))
+	preports := make([]*PartitionReport, len(jobs))
 	for i, b := range jobs {
 		if b.AIG == nil {
 			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s) has no network", i, b.Name)
@@ -150,16 +157,30 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 			Script:   b.Script,
 			Priority: b.Priority,
 			Workers:  b.Workers,
-			Config: flow.Config{
-				Parallel:   o.Parallel,
-				MaxCut:     o.MaxCut,
-				RwzPasses:  o.RwzPasses,
-				RfPasses:   o.Passes,
-				ZeroGain:   o.ZeroGain,
-				Verify:     o.Verify,
-				GateRounds: o.GateRounds,
-				Cache:      o.rcache(),
-			},
+			Config:   o.flowConfig(),
+		}
+		if o.Partition.Mode != PartitionOff {
+			// A partitioned job fans its partitions onto the batch's shared
+			// pool via the engine's custom-runner hook, so the whole fleet
+			// still respects one worker budget.
+			mode, err := o.Partition.Mode.internal()
+			if err != nil {
+				return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s): %w", i, b.Name, err)
+			}
+			i, in, script, popts := i, b.AIG.aig, b.Script, o.partitionOptions(mode)
+			popts.Workers = b.Workers
+			sjobs[i].Custom = func(ctx context.Context, pool *sched.Pool) (flow.Result, error) {
+				popts.Pool = pool
+				pres, err := partition.Run(ctx, in, script, popts)
+				preports[i] = partitionReportOf(&pres)
+				return flow.Result{
+					AIG:          pres.AIG,
+					TotalWall:    pres.Wall,
+					TotalModeled: pres.Modeled,
+					Incidents:    pres.Incidents,
+					CacheStats:   pres.CacheStats,
+				}, err
+			}
 		}
 	}
 	var sharedBefore CacheStats
@@ -179,6 +200,7 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 			NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
 			Timings: r.Timings, Incidents: r.Incidents,
 			CacheStats: cacheStatsOf(r.CacheStats),
+			Partition:  preports[i],
 		}
 		if r.AIG != nil {
 			br.AIG = &Network{aig: r.AIG}

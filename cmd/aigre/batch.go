@@ -118,6 +118,8 @@ type batchJobReport struct {
 	LevelsAfter int             `json:"levels_after"`
 	Output      string          `json:"output,omitempty"`
 	Incidents   []flow.Incident `json:"incidents,omitempty"`
+	// Partition is the job's partition-parallel report (runs with -partition).
+	Partition *aigre.PartitionReport `json:"partition,omitempty"`
 }
 
 // runBatch is the -batch entry point; it returns the process exit code.
@@ -170,7 +172,7 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 			Name: r.Name, Script: r.Script, Cancelled: r.Cancelled,
 			QueuedNS: r.Queued, WallNS: r.Wall, ModeledNS: r.Modeled,
 			NodesBefore: r.NodesBefore, NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
-			Incidents: r.Incidents,
+			Incidents: r.Incidents, Partition: r.Partition,
 		}
 		switch {
 		case r.Err != nil:

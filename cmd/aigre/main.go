@@ -46,6 +46,9 @@ func main() {
 		zeroGain = flag.Bool("zerogain", false, "sequential rw/rf accept zero-gain replacements (like rwz/rfz)")
 		profile  = flag.Bool("profile", false, "print the per-kernel device profile (parallel mode)")
 		profJSON = flag.String("profile-json", "", "write the profile report as JSON to this file (\"-\" = stdout)")
+		partMode = flag.String("partition", "off", "partition-parallel optimization: off, cones, or levels")
+		partSize = flag.Int("partition-size", 0, "partition size target in AND nodes (0 = 100000)")
+		partRnds = flag.Int("partition-rounds", 0, "max seam-conflict rollback rounds before full rollback (0 = 2)")
 		verify   = flag.Bool("verify", false, "full per-command equivalence gate during script runs (default: sampling gate)")
 		inject   = flag.String("inject", "", "inject a deterministic fault: \"kernel-pattern:N:panic\" or \"kernel-pattern:N:corrupt\" (chaos testing, parallel mode)")
 		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
@@ -61,6 +64,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aigre: -passes must be >= 0 (got %d)\n", *passes)
 		os.Exit(2)
 	}
+	pmode, err := aigre.ParsePartitionMode(*partMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	popts := aigre.PartitionOptions{Mode: pmode, TargetSize: *partSize, MaxConflictRounds: *partRnds}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -69,11 +78,12 @@ func main() {
 	}
 	if *batch != "" {
 		opts := aigre.Options{
-			Parallel: *parallel,
-			MaxCut:   *maxCut,
-			Passes:   *passes,
-			ZeroGain: *zeroGain,
-			Verify:   *verify,
+			Parallel:  *parallel,
+			MaxCut:    *maxCut,
+			Passes:    *passes,
+			ZeroGain:  *zeroGain,
+			Verify:    *verify,
+			Partition: popts,
 		}
 		os.Exit(runBatch(ctx, *batch, *outdir, *report, *workers, *maxJobs, *shCache, opts))
 	}
@@ -118,12 +128,13 @@ func main() {
 	cur := n
 	if s != "" {
 		opts := aigre.Options{
-			Parallel: *parallel,
-			Workers:  *workers,
-			MaxCut:   *maxCut,
-			Passes:   *passes,
-			ZeroGain: *zeroGain,
-			Verify:   *verify,
+			Parallel:  *parallel,
+			Workers:   *workers,
+			MaxCut:    *maxCut,
+			Passes:    *passes,
+			ZeroGain:  *zeroGain,
+			Verify:    *verify,
+			Partition: popts,
 		}
 		if *inject != "" {
 			plan, err := parseInject(*inject)
@@ -147,6 +158,24 @@ func main() {
 			mode = "parallel"
 		}
 		fmt.Fprintf(msg, "script: %q (%s)  wall=%v modeled=%v\n", s, mode, res.Wall, res.Modeled)
+		if p := res.Partition; p != nil {
+			fmt.Fprintf(msg, "partition: mode=%s parts=%d shared=%d conflicts=%d/%d rollbacks=%d rounds=%d\n",
+				p.Mode, len(p.Parts), p.SharedNodes, p.ConflictsBroken, p.ConflictsFound, p.Rollbacks, p.StitchRounds)
+			if *verbose {
+				for _, ps := range p.Parts {
+					span := fmt.Sprintf("po=%d", ps.POs)
+					if p.Mode == "levels" {
+						span = fmt.Sprintf("lev=%d..%d", ps.LevelLo, ps.LevelHi)
+					}
+					rolled := ""
+					if ps.RolledBack {
+						rolled = "  ROLLED BACK: " + ps.Note
+					}
+					fmt.Fprintf(msg, "  part %-3d %-12s and %7d -> %7d  conflicts=%-5d wall=%-12v queued=%v%s\n",
+						ps.Index, span, ps.NodesIn, ps.NodesOut, ps.ConflictsBroken, ps.WallNS, ps.QueuedNS, rolled)
+				}
+			}
+		}
 		for _, inc := range res.Incidents {
 			fmt.Fprintln(msg, "incident:", inc)
 		}
@@ -196,6 +225,9 @@ type profileReport struct {
 	// Incidents are the contained failures of the guarded run (omitted when
 	// the run was clean).
 	Incidents []flow.Incident `json:"incidents,omitempty"`
+	// Partition is the partition-parallel report with its per-partition rows
+	// (only for runs with -partition).
+	Partition *aigre.PartitionReport `json:"partition,omitempty"`
 }
 
 type commandReport struct {
@@ -217,6 +249,7 @@ func writeProfileJSON(path, script, mode string, res aigre.Result) error {
 		Kernels:   res.Profile,
 		Cache:     res.CacheStats,
 		Incidents: res.Incidents,
+		Partition: res.Partition,
 	}
 	for _, t := range res.Timings {
 		rep.Commands = append(rep.Commands, commandReport{

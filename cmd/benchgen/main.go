@@ -7,6 +7,9 @@
 //	benchgen -out bench/ -scale 4            # the full 14-circuit suite
 //	benchgen -out bench/ -name div -scale 2  # one family
 //	benchgen -list                           # show the suite
+//	benchgen -out bench/ -deep-narrow -chains 64 -steps 4000
+//	                                         # adversarial million-node
+//	                                         # deep/narrow partition stressor
 package main
 
 import (
@@ -21,11 +24,14 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", ".", "output directory")
-		name  = flag.String("name", "", "generate only this benchmark (default: all)")
-		scale = flag.Int("scale", 1, "size scale factor (powers of two enlarge via doubling)")
-		ascii = flag.Bool("aag", false, "write ASCII AIGER instead of binary")
-		list  = flag.Bool("list", false, "list available benchmarks and exit")
+		out    = flag.String("out", ".", "output directory")
+		name   = flag.String("name", "", "generate only this benchmark (default: all)")
+		scale  = flag.Int("scale", 1, "size scale factor (powers of two enlarge via doubling)")
+		ascii  = flag.Bool("aag", false, "write ASCII AIGER instead of binary")
+		list   = flag.Bool("list", false, "list available benchmarks and exit")
+		deep   = flag.Bool("deep-narrow", false, "generate the adversarial deep/narrow partition stressor instead of the suite")
+		chains = flag.Int("chains", 64, "deep-narrow: number of independent output chains")
+		steps  = flag.Int("steps", 4000, "deep-narrow: XOR-accumulator steps per chain (4 AND nodes each)")
 	)
 	flag.Parse()
 	if *list {
@@ -40,6 +46,16 @@ func main() {
 	ext := ".aig"
 	if *ascii {
 		ext = ".aag"
+	}
+	if *deep {
+		a := bench.DeepNarrow(*chains, *steps)
+		n := aigre.FromInternal(a)
+		path := filepath.Join(*out, a.Name+ext)
+		if err := n.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s -> %-24s %v\n", a.Name, path, n.Stats())
+		return
 	}
 	for _, c := range bench.Suite(*scale) {
 		if *name != "" && c.Name != *name {

@@ -1,5 +1,7 @@
 package aig
 
+import "fmt"
+
 // NodeLevels returns the level (delay) of every node: PIs and the constant
 // are level 0, an AND node is 1 + max(level of fanins). The computation is
 // iterative and tolerates non-topological id order (after in-place edits).
@@ -134,13 +136,106 @@ func (a *AIG) CountReachable() int {
 	return len(a.TopoOrder(true))
 }
 
+// TopoOrderChecked returns the AND node ids reachable from the POs in
+// topological order, like TopoOrder(true), but validates the network while
+// walking: an out-of-range fanin or PO literal, a reference to a deleted
+// node, or a combinational cycle yields an error. TopoOrder silently
+// mis-handles such networks — deleted fanins are traversed as if alive and a
+// cycle hangs the walk — so consumers that cannot trust their input (the
+// AIGER writers) use this variant.
+func (a *AIG) TopoOrderChecked() ([]int32, error) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the DFS stack
+		black = 2 // done
+	)
+	n := int32(len(a.fanin0))
+	order := make([]int32, 0, a.NumAnds())
+	color := make([]byte, n)
+	color[0] = black
+	for id := int32(1); id <= a.numPIs; id++ {
+		color[id] = black
+	}
+	var stack []int32
+	visit := func(root int32) error {
+		if color[root] == black {
+			return nil
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			if color[cur] == black {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			color[cur] = grey
+			advanced := false
+			for _, f := range [2]Lit{a.fanin0[cur], a.fanin1[cur]} {
+				v := f.Var()
+				if v >= n {
+					return fmt.Errorf("aig: node %d fanin references out-of-range node %d", cur, v)
+				}
+				if a.IsDeleted(v) {
+					return fmt.Errorf("aig: node %d fanin references deleted node %d", cur, v)
+				}
+				switch color[v] {
+				case grey:
+					return fmt.Errorf("aig: combinational cycle through node %d", v)
+				case white:
+					stack = append(stack, v)
+					advanced = true
+				}
+			}
+			if !advanced {
+				color[cur] = black
+				order = append(order, cur)
+				stack = stack[:len(stack)-1]
+			}
+		}
+		return nil
+	}
+	for i, p := range a.pos {
+		v := p.Var()
+		if v >= n {
+			return nil, fmt.Errorf("aig: PO %d references out-of-range node %d", i, v)
+		}
+		if a.IsDeleted(v) {
+			return nil, fmt.Errorf("aig: PO %d references deleted node %d", i, v)
+		}
+		if a.IsAnd(v) {
+			if err := visit(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return order, nil
+}
+
+// CompactSafe is Compact with validation: it returns an error instead of a
+// silently corrupt network when the traversal encounters an out-of-range
+// literal, a reference to a deleted node, or a combinational cycle (on which
+// plain Compact would not terminate).
+func (a *AIG) CompactSafe() (*AIG, []Lit, error) {
+	order, err := a.TopoOrderChecked()
+	if err != nil {
+		return nil, nil, err
+	}
+	out, mp := a.compactOrder(order)
+	return out, mp, nil
+}
+
 // Compact returns a new AIG containing only the nodes reachable from the
 // POs, renumbered in topological order, along with a literal map from old
 // node ids to new literals (old dangling nodes map to ConstFalse). This is
 // the "dangling node removal" primitive: nodes not reachable from any PO are
 // dropped.
 func (a *AIG) Compact() (*AIG, []Lit) {
-	order := a.TopoOrder(true)
+	return a.compactOrder(a.TopoOrder(true))
+}
+
+// compactOrder replays the given topological order of reachable AND nodes
+// into a fresh network; shared by Compact and CompactSafe.
+func (a *AIG) compactOrder(order []int32) (*AIG, []Lit) {
 	out := NewCap(int(a.numPIs), int(a.numPIs)+1+len(order))
 	out.Name = a.Name
 	mp := make([]Lit, len(a.fanin0))

@@ -31,6 +31,37 @@ func preallocHint(n int) int {
 	return n
 }
 
+// maxLineBytes bounds a single text line (header, literal lines, binary
+// output lines). No legal AIGER line within the header limits comes anywhere
+// near it; a longer "line" is a hostile or corrupt newline-free stream.
+const maxLineBytes = 1 << 16
+
+// readLine reads one '\n'-terminated line of at most maxLineBytes bytes.
+// Unlike bufio.Reader.ReadString, it never buffers more than the limit: a
+// newline-free stream yields an error instead of allocating the stream into
+// memory. The trailing newline, when present, is included (matching
+// ReadString), and a final unterminated line is returned alongside io.EOF.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if len(buf)+len(frag) > maxLineBytes {
+			return "", fmt.Errorf("aiger: line exceeds %d bytes", maxLineBytes)
+		}
+		if err == nil {
+			if buf == nil {
+				return string(frag), nil
+			}
+			return string(append(buf, frag...)), nil
+		}
+		if err == bufio.ErrBufferFull {
+			buf = append(buf, frag...)
+			continue
+		}
+		return string(append(buf, frag...)), err
+	}
+}
+
 // Read parses an AIGER file (ASCII or binary, auto-detected from the magic)
 // into an AIG. Symbol tables and comments are skipped.
 //
@@ -44,7 +75,7 @@ func Read(r io.Reader) (a *aig.AIG, err error) {
 		}
 	}()
 	br := bufio.NewReaderSize(r, 1<<20)
-	header, err := br.ReadString('\n')
+	header, err := readLine(br)
 	if err != nil {
 		return nil, fmt.Errorf("aiger: reading header: %w", err)
 	}
@@ -85,7 +116,7 @@ func readASCII(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
 	readLits := func(n int) ([]uint64, error) {
 		lits := make([]uint64, 0, preallocHint(n))
 		for len(lits) < n {
-			line, err := br.ReadString('\n')
+			line, err := readLine(br)
 			if err != nil && len(strings.TrimSpace(line)) == 0 {
 				return nil, fmt.Errorf("aiger: unexpected EOF: %w", err)
 			}
@@ -140,7 +171,7 @@ func readBinary(br *bufio.Reader, in, out, ands int) (*aig.AIG, error) {
 	a := aig.NewCap(in, in+1+preallocHint(ands))
 	outLits := make([]uint64, 0, preallocHint(out))
 	for i := 0; i < out; i++ {
-		line, err := br.ReadString('\n')
+		line, err := readLine(br)
 		if err != nil {
 			return nil, fmt.Errorf("aiger: reading output %d: %w", i, err)
 		}
@@ -201,7 +232,10 @@ func readDelta(br *bufio.Reader) (uint64, error) {
 // topological id order with no deleted nodes; call Compact first if in-place
 // editing was used.
 func WriteASCII(w io.Writer, a *aig.AIG) error {
-	a = canonical(a)
+	a, err := canonical(a)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	in, ands := a.NumPIs(), a.NumAnds()
 	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", in+ands, in, a.NumPOs(), ands)
@@ -220,7 +254,10 @@ func WriteASCII(w io.Writer, a *aig.AIG) error {
 
 // WriteBinary writes the AIG in the binary "aig" format.
 func WriteBinary(w io.Writer, a *aig.AIG) error {
-	a = canonical(a)
+	a, err := canonical(a)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	in, ands := a.NumPIs(), a.NumAnds()
 	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", in+ands, in, a.NumPOs(), ands)
@@ -256,8 +293,11 @@ func writeDelta(bw *bufio.Writer, d uint64) error {
 
 // canonical returns an AIG suitable for writing: topological id order, no
 // deleted nodes. When the input already satisfies this, it is returned
-// as-is; otherwise a compacted copy is produced.
-func canonical(a *aig.AIG) *aig.AIG {
+// as-is; otherwise a compacted copy is produced. A network the checked
+// compaction rejects — dangling PO references, reachable deleted nodes, a
+// combinational cycle from in-place edits — yields an error rather than a
+// silently corrupt (or, for cycles, never-terminating) write.
+func canonical(a *aig.AIG) (*aig.AIG, error) {
 	needCompact := false
 	if a.NumObjs() != a.NumPIs()+1+a.NumAnds() {
 		needCompact = true // deleted nodes present
@@ -270,8 +310,19 @@ func canonical(a *aig.AIG) *aig.AIG {
 		}
 	}
 	if !needCompact {
-		return a
+		// The fast path skips the traversal, so range-check the POs here:
+		// a PO pointing past the last node would otherwise be written as an
+		// out-of-range literal.
+		for i := 0; i < a.NumPOs(); i++ {
+			if v := a.PO(i).Var(); int(v) >= a.NumObjs() {
+				return nil, fmt.Errorf("aiger: PO %d references out-of-range node %d", i, v)
+			}
+		}
+		return a, nil
 	}
-	c, _ := a.Compact()
-	return c
+	c, _, err := a.CompactSafe()
+	if err != nil {
+		return nil, fmt.Errorf("aiger: network is not writable: %w", err)
+	}
+	return c, nil
 }

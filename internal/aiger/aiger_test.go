@@ -142,6 +142,126 @@ func TestWriteCompactsNonCanonical(t *testing.T) {
 	}
 }
 
+// TestWriteRejectsCorruptNetwork pins the canonical() error path: a network
+// whose compaction fails (a PO pointing at a deleted node, a combinational
+// cycle from in-place edits) must yield a write error, not a silently
+// corrupt file — and for the cycle, the old unchecked compaction would not
+// even have terminated.
+func TestWriteRejectsCorruptNetwork(t *testing.T) {
+	deadPO := aig.New(2)
+	n := deadPO.AddAndUnchecked(deadPO.PI(0), deadPO.PI(1))
+	deadPO.EnableFanouts()
+	deadPO.SweepDangling() // n is unreferenced: deleted
+	deadPO.AddPO(n)        // PO now points at the deleted node
+
+	cyclic := aig.New(1)
+	first := cyclic.ExtendSlots(2)
+	cyclic.SetFanins(first, aig.MakeLit(first+1, false), cyclic.PI(0))
+	cyclic.SetFanins(first+1, aig.MakeLit(first, false), cyclic.PI(0))
+	cyclic.AddPO(aig.MakeLit(first, false))
+
+	danglingPO := aig.New(1)
+	danglingPO.AddPO(aig.MakeLit(40, false))
+
+	for name, a := range map[string]*aig.AIG{
+		"deleted-po-ref": deadPO,
+		"cycle":          cyclic,
+		"dangling-po":    danglingPO,
+	} {
+		var buf bytes.Buffer
+		if err := WriteASCII(&buf, a); err == nil {
+			t.Errorf("%s: WriteASCII accepted a corrupt network", name)
+		}
+		if err := WriteBinary(&buf, a); err == nil {
+			t.Errorf("%s: WriteBinary accepted a corrupt network", name)
+		}
+	}
+}
+
+// TestReadBoundsLines pins the hostile-stream hardening: a newline-free
+// stream must fail fast with a bounded allocation instead of being buffered
+// wholesale while looking for the end of the "line".
+func TestReadBoundsLines(t *testing.T) {
+	hostile := strings.Repeat("9", 4<<20) // 4 MiB, no newline anywhere
+	cases := map[string]string{
+		"header":      hostile,
+		"ascii-body":  "aag 1 1 0 1 0\n2\n" + hostile,
+		"binary-body": "aig 2 1 0 1 1\n" + hostile,
+	}
+	for name, src := range cases {
+		_, err := Read(strings.NewReader(src))
+		if err == nil {
+			t.Errorf("%s: accepted a newline-free %d-byte stream", name, len(src))
+			continue
+		}
+		if !strings.Contains(err.Error(), "exceeds") {
+			t.Errorf("%s: want bounded-line error, got %v", name, err)
+		}
+	}
+}
+
+// TestQuickRoundTripAfterInPlaceEdits drives the canonical/Compact write
+// path: random networks are edited in place with ReplaceNode until they
+// contain deleted nodes, then must round-trip through both formats with
+// their function intact.
+func TestQuickRoundTripAfterInPlaceEdits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := aig.Random(rng, 6, 80, 4)
+		a.EnableStrash()
+		a.EnableFanouts()
+		for k := 0; k < 8; k++ {
+			var live []int32
+			a.ForEachAnd(func(id int32) { live = append(live, id) })
+			if len(live) == 0 {
+				break
+			}
+			id := live[rng.Intn(len(live))]
+			// Replacing a node by one of its own fanins preserves acyclicity
+			// while deleting its MFFC and cascading merges.
+			a.ReplaceNode(id, a.Fanin0(id))
+		}
+		ref := a.Rehash()
+		b := roundTrip(t, a, seed%2 == 0)
+		if err := aig.Check(b); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return simEqual(ref, b, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripOutOfOrderIDs writes a network whose node ids are not in
+// topological order (the parallel replacement engine's ExtendSlots/SetFanins
+// idiom leaves such networks behind), which forces the writer through the
+// compacting path.
+func TestRoundTripOutOfOrderIDs(t *testing.T) {
+	a := aig.New(3)
+	const n = 10
+	first := a.ExtendSlots(n)
+	// A fanin chain laid out in reverse id order: node first+k reads node
+	// first+k+1, the deepest node reads only PIs.
+	for k := 0; k < n-1; k++ {
+		a.SetFanins(first+int32(k), aig.MakeLit(first+int32(k)+1, k%2 == 1), a.PI(k%3))
+	}
+	a.SetFanins(first+n-1, a.PI(0), a.PI(1).Not())
+	a.AddPO(aig.MakeLit(first, true))
+
+	ref := a.Rehash()
+	for _, binary := range []bool{false, true} {
+		b := roundTrip(t, a, binary)
+		if err := aig.Check(b); err != nil {
+			t.Fatal(err)
+		}
+		if !simEqual(ref, b, 42) {
+			t.Errorf("binary=%v: function changed", binary)
+		}
+	}
+}
+
 func TestBinaryDeltaEncoding(t *testing.T) {
 	for _, d := range []uint64{0, 1, 127, 128, 16383, 16384, 1 << 28} {
 		var buf bytes.Buffer

@@ -36,6 +36,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("aag 99999999 99999999 0 0 0\n"))
 	f.Add([]byte("aig 2 1 0 1 1\n4\n\xff\xff\xff\xff\xff\xff"))
 	f.Add([]byte("not-aiger at all"))
+	// Newline-free streams: the header (and every later line) is read with a
+	// bounded line reader, so these must fail fast instead of buffering the
+	// whole stream while searching for '\n'.
+	f.Add(bytes.Repeat([]byte("9"), 1<<17))
+	f.Add(append([]byte("aag 1 1 0 1 0\n2\n"), bytes.Repeat([]byte("1"), 1<<17)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := Read(bytes.NewReader(data))

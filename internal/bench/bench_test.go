@@ -295,3 +295,28 @@ func TestScaleGrowsSuite(t *testing.T) {
 		t.Errorf("doubling changed levels")
 	}
 }
+
+// TestDeepNarrow pins the adversarial generator's shape: exact node count,
+// one PO per chain, structural validity, and a depth of 2 levels per step —
+// deep and narrow by construction.
+func TestDeepNarrow(t *testing.T) {
+	a := DeepNarrow(4, 50)
+	if err := aig.Check(a); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.NumAnds(), 4*4*50; got != want {
+		t.Errorf("NumAnds = %d, want %d", got, want)
+	}
+	if a.NumPOs() != 4 {
+		t.Errorf("NumPOs = %d, want 4", a.NumPOs())
+	}
+	if lev := a.Levels(); lev < 2*50 {
+		t.Errorf("Levels = %d, want >= %d (deep chains)", lev, 2*50)
+	}
+	// The chains must be functionally independent and non-constant: the
+	// strashed, optimizable form keeps all four outputs.
+	r := a.Rehash()
+	if r.NumAnds() < 4*4*50/2 {
+		t.Errorf("strash collapsed the chains: %d of %d nodes survive", r.NumAnds(), a.NumAnds())
+	}
+}

@@ -163,10 +163,19 @@ func attempt(a *aig.AIG, cmd string, cfg Config, parallel bool) (out *aig.AIG, t
 // default, a full equivalence check when cfg.Verify is set, nothing when
 // GateRounds is negative.
 func gate(before, after *aig.AIG, cfg Config, seed int64) error {
+	return EquivGate(before, after, cfg.Verify, cfg.GateRounds, seed)
+}
+
+// EquivGate is the guarded runner's validation gate, exported for the
+// partition stitcher, which re-runs the same gate across partition seams:
+// structural invariants first (always), then the functional equivalence gate
+// — sampling with the given number of rounds by default, a full equivalence
+// check when verify is set, nothing when rounds is negative.
+func EquivGate(before, after *aig.AIG, verify bool, rounds int, seed int64) error {
 	if err := aig.Check(after); err != nil {
 		return &gateError{stage: "invariant", err: err}
 	}
-	if cfg.Verify {
+	if verify {
 		res, err := cec.Check(before, after, cec.Options{Seed: seed})
 		if err != nil {
 			return &gateError{stage: "equivalence", err: err}
@@ -177,10 +186,10 @@ func gate(before, after *aig.AIG, cfg Config, seed int64) error {
 		}
 		return nil
 	}
-	if cfg.GateRounds < 0 {
+	if rounds < 0 {
 		return nil
 	}
-	if res, refuted := cec.SampleRefute(before, after, cfg.GateRounds, seed); refuted {
+	if res, refuted := cec.SampleRefute(before, after, rounds, seed); refuted {
 		return &gateError{stage: "equivalence",
 			err: fmt.Errorf("output differs from input on PO %d (%s)", res.FailingOutput, res.Method)}
 	}

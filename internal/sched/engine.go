@@ -35,6 +35,13 @@ type Job struct {
 	// ignored: parallel jobs always run on a device leased from the
 	// engine's pool.
 	Config flow.Config
+	// Custom, when non-nil, replaces the flow.Run invocation for this job.
+	// It runs on the job's runner goroutine under the merged per-job and
+	// engine-wide context and draws any device capacity from its own leases
+	// of the given pool. AIG is still required (it sizes the before-stats),
+	// and Script still labels the job. The partition-parallel batch path
+	// uses this to fan a job's sub-partitions onto the engine's pool.
+	Custom func(ctx context.Context, pool *Pool) (flow.Result, error)
 }
 
 // Result reports one finished job.
@@ -287,10 +294,16 @@ func (e *Engine) run(q *queuedJob) Result {
 
 	cfg := q.job.Config
 	cfg.Device = nil
-	if cfg.Parallel {
-		cfg.Device = e.pool.Lease(q.job.Workers)
+	var fres flow.Result
+	var err error
+	if q.job.Custom != nil {
+		fres, err = q.job.Custom(ctx, e.pool)
+	} else {
+		if cfg.Parallel {
+			cfg.Device = e.pool.Lease(q.job.Workers)
+		}
+		fres, err = flow.Run(ctx, q.job.AIG, q.job.Script, cfg)
 	}
-	fres, err := flow.Run(ctx, q.job.AIG, q.job.Script, cfg)
 	res.Wall = time.Since(start)
 	res.Modeled = fres.TotalModeled
 	res.Timings = fres.Timings

@@ -1,0 +1,8 @@
+//go:build race
+
+package aigre_test
+
+// raceEnabled reports whether the binary was built with -race. Tests too
+// large for the race detector's constant-factor slowdown (the million-node
+// smoke) skip themselves when it is set; check.sh re-runs them without -race.
+const raceEnabled = true

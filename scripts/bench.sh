@@ -12,28 +12,42 @@
 #     reported but never gates.
 #
 # Run from anywhere; `make bench` is an alias. Override the iteration count
-# with BENCHTIME (default 1x, matching how the baseline was recorded).
+# with BENCHTIME (default 1x, matching how the baseline was recorded). The
+# report lands in BENCH_<N>.json where N comes from scripts/pr_sequence, so
+# each PR appends its own artifact next to the earlier ones; BENCH_OUT
+# overrides the path entirely.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 BASELINE=scripts/bench_baseline.txt
-OUT="${BENCH_OUT:-BENCH_5.json}"
+SEQ=$(cat scripts/pr_sequence 2>/dev/null || echo 5)
+OUT="${BENCH_OUT:-BENCH_${SEQ}.json}"
 CUR=$(mktemp)
 trap 'rm -f "$CUR"' EXIT
 
-echo "bench: running Table/Fig benchmarks (-benchtime=$BENCHTIME -benchmem)..." >&2
-go test -run '^$' -bench 'Table|Fig8' -benchmem -benchtime="$BENCHTIME" . | tee "$CUR" >&2
+echo "bench: running Table/Fig/Partition benchmarks (-benchtime=$BENCHTIME -benchmem)..." >&2
+go test -run '^$' -bench 'Table|Fig8|PartitionMillion' -benchmem -benchtime="$BENCHTIME" -timeout 30m . | tee "$CUR" >&2
 
 awk -v baseline="$BASELINE" -v out="$OUT" -v benchtime="$BENCHTIME" '
-function parseline(line, vals,   n, parts, i) {
+function parseline(line, vals,   n, parts, i, key) {
     # "BenchmarkX  N  123 ns/op  456 B/op  789 allocs/op  [extra metrics]"
+    # Custom b.ReportMetric columns (e.g. queued-ns/op, modeled-ns/op) are
+    # carried into the JSON as "<metric>_per_op" so per-benchmark scaling
+    # signals survive in the BENCH_<N>.json artifact.
     n = split(line, parts, /[ \t]+/)
     vals["name"] = parts[1]
+    vals["extras"] = ""
     for (i = 3; i < n; i += 2) {
-        if (parts[i+1] == "ns/op")     vals["ns"] = parts[i]
-        if (parts[i+1] == "B/op")      vals["bytes"] = parts[i]
-        if (parts[i+1] == "allocs/op") vals["allocs"] = parts[i]
+        if (parts[i+1] == "ns/op")          { vals["ns"] = parts[i] }
+        else if (parts[i+1] == "B/op")      { vals["bytes"] = parts[i] }
+        else if (parts[i+1] == "allocs/op") { vals["allocs"] = parts[i] }
+        else if (parts[i+1] ~ /\/op$/) {
+            key = parts[i+1]
+            sub(/\/op$/, "", key)
+            gsub(/[^A-Za-z0-9]/, "_", key)
+            vals["extras"] = vals["extras"] sprintf(", \"%s_per_op\": %s", key, parts[i])
+        }
     }
 }
 BEGIN {
@@ -52,6 +66,7 @@ BEGIN {
     cur_ns[v["name"]] = v["ns"]
     cur_allocs[v["name"]] = v["allocs"]
     cur_bytes[v["name"]] = v["bytes"]
+    cur_extras[v["name"]] = v["extras"]
 }
 END {
     printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime > out
@@ -62,8 +77,8 @@ END {
         # sometimes appends (BenchmarkFoo-8).
         short = name; sub(/^Benchmark/, "", short); sub(/-[0-9]+$/, "", short)
         full = "Benchmark" short
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
-            short, cur_ns[name], cur_bytes[name], cur_allocs[name] > out
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s", \
+            short, cur_ns[name], cur_bytes[name], cur_allocs[name], cur_extras[name] > out
         if (full in base_allocs) {
             ns_ratio = cur_ns[name] / base_ns[full]
             allocs_ratio = (base_allocs[full] > 0) ? cur_allocs[name] / base_allocs[full] : 1

@@ -2,8 +2,9 @@
 # Tier-1 verification: gofmt gate, build, vet (findings fail the run), the
 # full test suite under the race detector — which includes the
 # fault-injection and rollback tests of internal/gpu and internal/flow —
-# and a short fuzz smoke of the AIGER parser. Run from anywhere;
-# `make check` is an alias.
+# the million-node partition smoke, the partition seam-conflict stress, and
+# a short fuzz smoke of the AIGER parser. Run from anywhere; `make check` is
+# an alias.
 set -eu
 cd "$(dirname "$0")/.."
 # gofmt gate: fail on any unformatted file.
@@ -26,5 +27,11 @@ go test -race -run 'TestConcurrentMixedTraffic|TestSharedCacheBatchStress|TestCa
 # -race (concurrent jobs over a tiny pool must respect the worker budget and
 # stop promptly on cancel, with no goroutine leaks).
 go test -race -run 'Pool|Engine|Lease|RunBatch|Cancel' ./internal/sched/ ./internal/gpu/ .
+# Partition-parallel optimization: the million-node deep/narrow smoke (cone
+# partitioning of an AIG the kernel-level parallelism cannot touch) and the
+# seam-conflict stress — 8 partitions racing over a 2-worker pool in parallel
+# mode — explicitly, under -race.
+go test -timeout 20m -run 'TestPartitionMillionNodeSmoke' .
+go test -race -run 'TestPartitionStressRace|TestResolveRollsBack|TestPartitionedBatchJob' ./internal/partition/ .
 # Fuzz smoke: the AIGER parser must never panic on arbitrary input.
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
