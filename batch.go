@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aigre/internal/flow"
+	"aigre/internal/journal"
 	"aigre/internal/partition"
 	"aigre/internal/sched"
 )
@@ -38,12 +39,59 @@ type Batch struct {
 	// concurrency regardless.
 	Workers int
 	// Options selects engine parameters for this job. Options.Workers is
-	// ignored (the pool is shared; use Batch.Workers for the lease cap) and
-	// Options.FaultPlans is ignored (leased devices share the pool, so
-	// per-job fault plans are not supported). Options.Partition is honored:
-	// the job then optimizes partition-parallel, fanning its partitions onto
-	// the batch's shared pool, and BatchResult.Partition carries the report.
+	// ignored (the pool is shared; use Batch.Workers for the lease cap).
+	// Options.FaultPlans is a chaos/test facility: the plans are injected
+	// into each attempt's leased device, with fire-progress carried across
+	// supervised retries (ignored for partitioned jobs, which manage their
+	// own leases). Options.Partition is honored: the job then optimizes
+	// partition-parallel, fanning its partitions onto the batch's shared
+	// pool, and BatchResult.Partition carries the report.
 	Options Options
+}
+
+// Policy governs supervision of every job in a batch: per-job deadlines,
+// classified retry with exponential backoff, watchdog preemption of stuck
+// jobs, and quarantine of jobs that exhaust their retry budget. The zero
+// Policy supervises nothing: one attempt per job, no deadline, no watchdog.
+type Policy struct {
+	// JobTimeout is the per-attempt deadline of one job (0 = none). It is
+	// distinct from cancelling RunBatch's ctx: a timed-out attempt may be
+	// retried, and other jobs keep running.
+	JobTimeout time.Duration
+	// Retries is each job's retry budget: how many extra attempts its
+	// transient failures (aborted kernel launches, full hash tables,
+	// seam-gate rollbacks, deadline kills, watchdog preemptions) may
+	// consume. A job that exhausts the budget is quarantined. For a
+	// partitioned job the budget is shared with its per-partition jobs.
+	Retries int
+	// RetryDegraded also retries attempts that completed but recorded
+	// transient-class incidents, discarding the degraded result in the
+	// hope of a clean pass; the last degraded result stands when the
+	// budget runs dry.
+	RetryDegraded bool
+	// Backoff is the delay before a job's first retry, doubling each
+	// further retry with ±50% jitter (default 5ms); MaxBackoff caps the
+	// doubling (default 500ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// StuckTimeout arms the watchdog: a job whose kernel-launch heartbeat
+	// advances nothing for this long is preempted and, with no budget
+	// left, quarantined (0 = no watchdog).
+	StuckTimeout time.Duration
+	// Seed makes retry jitter deterministic; 0 is a valid seed.
+	Seed int64
+}
+
+func (p Policy) internal() sched.Policy {
+	return sched.Policy{
+		JobTimeout:    p.JobTimeout,
+		Retries:       p.Retries,
+		RetryDegraded: p.RetryDegraded,
+		Backoff:       p.Backoff,
+		MaxBackoff:    p.MaxBackoff,
+		StuckTimeout:  p.StuckTimeout,
+		Seed:          p.Seed,
+	}
 }
 
 // BatchOptions configures RunBatch.
@@ -62,6 +110,14 @@ type BatchOptions struct {
 	// concurrency-safe and results remain bit-identical with or without it.
 	// BatchMetrics.CacheStats reports the batch-wide traffic delta.
 	SharedCache *Cache
+	// Policy supervises every job of the batch (zero = unsupervised).
+	Policy Policy
+	// JournalPath, when non-empty, appends every supervision event —
+	// attempts, contained incidents, retries, preemptions, timeouts,
+	// quarantines, final outcomes — to a JSONL journal file that survives
+	// the process and can be replayed with internal/journal.Replay (or any
+	// JSONL reader). The file is created if missing, appended otherwise.
+	JournalPath string
 }
 
 // BatchResult reports one job of a batch.
@@ -75,8 +131,20 @@ type BatchResult struct {
 	// Err is nil on success, wraps ctx.Err() on cancellation, or reports a
 	// script error. Contained engine failures appear in Incidents, not Err.
 	Err error
-	// Cancelled reports that Err traces back to context cancellation.
+	// Cancelled reports that Err traces back to external cancellation (the
+	// batch ctx); deadline kills report TimedOut instead.
 	Cancelled bool
+	// TimedOut reports that Err traces back to an expired deadline — the
+	// job's Policy.JobTimeout or the batch ctx's own deadline.
+	TimedOut bool
+	// Quarantined reports the job was withdrawn as poison: a retryable
+	// failure class exhausted its retry budget, or the watchdog caught it
+	// stuck with no budget left.
+	Quarantined bool
+	// Attempts is how many supervised attempts ran (1 when unsupervised);
+	// Preemptions how many of them the watchdog preempted as stuck.
+	Attempts    int
+	Preemptions int
 
 	Queued  time.Duration // submission -> start
 	Wall    time.Duration // start -> finish, host time
@@ -100,8 +168,10 @@ type BatchResult struct {
 type BatchMetrics struct {
 	// Workers is the shared pool budget W.
 	Workers int
-	// Finished, Failed, and Cancelled partition the jobs.
-	Finished, Failed, Cancelled int
+	// Finished, Failed, Cancelled, TimedOut, and Quarantined partition the
+	// jobs by final outcome; Retries counts extra attempts fleet-wide.
+	Finished, Failed, Cancelled    int
+	TimedOut, Quarantined, Retries int
 	// PeakWorkers is the observed host-concurrency high-water mark; the
 	// shared-budget invariant keeps it at or below Workers.
 	PeakWorkers int
@@ -135,6 +205,16 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 	if len(jobs) == 0 {
 		return nil, BatchMetrics{}, fmt.Errorf("aigre: empty batch")
 	}
+	var jour *journal.Journal
+	if opts.JournalPath != "" {
+		var err error
+		jour, err = journal.Create(opts.JournalPath)
+		if err != nil {
+			return nil, BatchMetrics{}, fmt.Errorf("aigre: %w", err)
+		}
+		defer jour.Close()
+	}
+	pol := opts.Policy.internal()
 	sjobs := make([]sched.Job, len(jobs))
 	preports := make([]*PartitionReport, len(jobs))
 	for i, b := range jobs {
@@ -152,12 +232,13 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 			o.Cache = opts.SharedCache
 		}
 		sjobs[i] = sched.Job{
-			Name:     b.Name,
-			AIG:      b.AIG.aig,
-			Script:   b.Script,
-			Priority: b.Priority,
-			Workers:  b.Workers,
-			Config:   o.flowConfig(),
+			Name:       b.Name,
+			AIG:        b.AIG.aig,
+			Script:     b.Script,
+			Priority:   b.Priority,
+			Workers:    b.Workers,
+			Config:     o.flowConfig(),
+			FaultPlans: o.FaultPlans,
 		}
 		if o.Partition.Mode != PartitionOff {
 			// A partitioned job fans its partitions onto the batch's shared
@@ -169,6 +250,23 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 			}
 			i, in, script, popts := i, b.AIG.aig, b.Script, o.partitionOptions(mode)
 			popts.Workers = b.Workers
+			popts.Journal = jour
+			if pol.Retries > 0 {
+				// One budget shared between the job's outer attempts and its
+				// per-partition jobs: however the faults land, the job's total
+				// retry allowance stays bounded at Policy.Retries.
+				budget := sched.NewRetryBudget(pol.Retries)
+				jobPol := pol
+				jobPol.Budget = budget
+				sjobs[i].Policy = &jobPol
+				popts.Supervise = sched.Policy{
+					Retries:    pol.Retries,
+					Budget:     budget,
+					Backoff:    pol.Backoff,
+					MaxBackoff: pol.MaxBackoff,
+					Seed:       pol.Seed + int64(i),
+				}
+			}
 			sjobs[i].Custom = func(ctx context.Context, pool *sched.Pool) (flow.Result, error) {
 				popts.Pool = pool
 				pres, err := partition.Run(ctx, in, script, popts)
@@ -189,12 +287,18 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 	}
 	pool := sched.NewPool(opts.Workers)
 	defer pool.Close()
-	results, m := sched.RunJobs(ctx, pool, sjobs, opts.MaxConcurrentJobs)
+	results, m := sched.RunSupervised(ctx, pool, sjobs, sched.Options{
+		MaxConcurrentJobs: opts.MaxConcurrentJobs,
+		Policy:            pol,
+		Journal:           jour,
+	})
 	out := make([]BatchResult, len(results))
 	for i, r := range results {
 		br := BatchResult{
 			Name: r.Name, Script: r.Script,
 			Err: r.Err, Cancelled: r.Cancelled,
+			TimedOut: r.TimedOut, Quarantined: r.Quarantined,
+			Attempts: r.Attempts, Preemptions: r.Preemptions,
 			Queued: r.Queued, Wall: r.Wall, Modeled: r.Modeled,
 			NodesBefore: r.NodesBefore, LevelsBefore: r.LevelsBefore,
 			NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
@@ -212,6 +316,9 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 		Finished:       m.Finished,
 		Failed:         m.Failed,
 		Cancelled:      m.Cancelled,
+		TimedOut:       m.TimedOut,
+		Quarantined:    m.Quarantined,
+		Retries:        m.Retries,
 		PeakWorkers:    m.PeakWorkers,
 		PeakQueueDepth: m.PeakQueueDepth,
 		Wall:           m.Wall,

@@ -93,6 +93,9 @@ type batchReport struct {
 	Finished       int           `json:"finished"`
 	Failed         int           `json:"failed"`
 	Cancelled      int           `json:"cancelled"`
+	TimedOut       int           `json:"timed_out,omitempty"`
+	Quarantined    int           `json:"quarantined,omitempty"`
+	Retries        int           `json:"retries,omitempty"`
 	PeakWorkers    int           `json:"peak_workers"`
 	PeakQueueDepth int           `json:"peak_queue_depth"`
 	WallNS         time.Duration `json:"wall_ns"`
@@ -110,6 +113,10 @@ type batchJobReport struct {
 	Script      string          `json:"script"`
 	Error       string          `json:"error,omitempty"`
 	Cancelled   bool            `json:"cancelled,omitempty"`
+	TimedOut    bool            `json:"timed_out,omitempty"`
+	Quarantined bool            `json:"quarantined,omitempty"`
+	Attempts    int             `json:"attempts,omitempty"`
+	Preemptions int             `json:"preemptions,omitempty"`
 	QueuedNS    time.Duration   `json:"queued_ns"`
 	WallNS      time.Duration   `json:"wall_ns"`
 	ModeledNS   time.Duration   `json:"modeled_ns"`
@@ -122,8 +129,10 @@ type batchJobReport struct {
 	Partition *aigre.PartitionReport `json:"partition,omitempty"`
 }
 
-// runBatch is the -batch entry point; it returns the process exit code.
-func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers, maxJobs int, sharedCache bool, opts aigre.Options) int {
+// runBatch is the -batch entry point; it returns the process exit code:
+// 0 clean, 1 infrastructure error, 2 bad manifest, 3 degraded (incidents
+// recorded), 4 at least one job failed / timed out / cancelled / quarantined.
+func runBatch(ctx context.Context, manifest, outdir, reportPath string, bopts aigre.BatchOptions, opts aigre.Options) int {
 	msg := os.Stdout
 	if reportPath == "-" {
 		msg = os.Stderr
@@ -139,10 +148,7 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 			return 1
 		}
 	}
-	bopts := aigre.BatchOptions{Workers: workers, MaxConcurrentJobs: maxJobs}
-	if sharedCache {
-		bopts.SharedCache = aigre.NewCache()
-	}
+	sharedCache := bopts.SharedCache != nil
 	results, m, err := aigre.RunBatch(ctx, jobs, bopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aigre:", err)
@@ -153,6 +159,9 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 		Finished:       m.Finished,
 		Failed:         m.Failed,
 		Cancelled:      m.Cancelled,
+		TimedOut:       m.TimedOut,
+		Quarantined:    m.Quarantined,
+		Retries:        m.Retries,
 		PeakWorkers:    m.PeakWorkers,
 		PeakQueueDepth: m.PeakQueueDepth,
 		WallNS:         m.Wall,
@@ -166,10 +175,12 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 		fmt.Fprintf(msg, "rcache:  hits=%d misses=%d (%.1f%%) npn-hits=%d npn-misses=%d entries=%d\n",
 			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.NpnHits, cs.NpnMisses, cs.Entries)
 	}
-	exit := 0
+	var infra, casualty, degraded bool
 	for _, r := range results {
 		jr := batchJobReport{
 			Name: r.Name, Script: r.Script, Cancelled: r.Cancelled,
+			TimedOut: r.TimedOut, Quarantined: r.Quarantined,
+			Attempts: r.Attempts, Preemptions: r.Preemptions,
 			QueuedNS: r.Queued, WallNS: r.Wall, ModeledNS: r.Modeled,
 			NodesBefore: r.NodesBefore, NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
 			Incidents: r.Incidents, Partition: r.Partition,
@@ -178,28 +189,41 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 		case r.Err != nil:
 			jr.Error = r.Err.Error()
 			status := "FAILED"
-			if r.Cancelled {
+			switch {
+			case r.Quarantined:
+				status = "QUARANTINED"
+			case r.TimedOut:
+				status = "timed out"
+			case r.Cancelled:
 				status = "cancelled"
 			}
 			fmt.Fprintf(msg, "%-16s %s: %v\n", r.Name, status, r.Err)
-			exit = 1
+			casualty = true
 		default:
-			fmt.Fprintf(msg, "%-16s and %6d -> %6d  lev %4d  wall=%-12v queued=%v\n",
-				r.Name, r.NodesBefore, r.NodesAfter, r.LevelsAfter, r.Wall, r.Queued)
+			retried := ""
+			if r.Attempts > 1 {
+				retried = fmt.Sprintf("  attempts=%d", r.Attempts)
+			}
+			fmt.Fprintf(msg, "%-16s and %6d -> %6d  lev %4d  wall=%-12v queued=%v%s\n",
+				r.Name, r.NodesBefore, r.NodesAfter, r.LevelsAfter, r.Wall, r.Queued, retried)
+			if len(r.Incidents) > 0 {
+				degraded = true
+			}
 		}
 		if outdir != "" && r.Err == nil && r.AIG != nil {
 			out := filepath.Join(outdir, r.Name+".aig")
 			if err := r.AIG.WriteFile(out); err != nil {
 				fmt.Fprintln(os.Stderr, "aigre:", err)
-				exit = 1
+				infra = true
 			} else {
 				jr.Output = out
 			}
 		}
 		rep.Jobs = append(rep.Jobs, jr)
 	}
-	fmt.Fprintf(msg, "batch:   %d jobs (%d ok, %d failed, %d cancelled)  workers=%d peak=%d util=%.0f%%  wall=%v\n",
-		len(results), m.Finished, m.Failed, m.Cancelled, m.Workers, m.PeakWorkers, 100*m.Utilization, m.Wall)
+	fmt.Fprintf(msg, "batch:   %d jobs (%d ok, %d failed, %d cancelled, %d timed out, %d quarantined, %d retries)  workers=%d peak=%d util=%.0f%%  wall=%v\n",
+		len(results), m.Finished, m.Failed, m.Cancelled, m.TimedOut, m.Quarantined, m.Retries,
+		m.Workers, m.PeakWorkers, 100*m.Utilization, m.Wall)
 	if reportPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -214,5 +238,13 @@ func runBatch(ctx context.Context, manifest, outdir, reportPath string, workers,
 			return 1
 		}
 	}
-	return exit
+	switch {
+	case infra:
+		return 1
+	case casualty:
+		return 4
+	case degraded:
+		return 3
+	}
+	return 0
 }

@@ -9,6 +9,16 @@
 //	aigre -in design.aig -script "b; rw; rf; b" -parallel -out opt.aig
 //	aigre -in design.aig -resyn2 -cec
 //	aigre -batch jobs.txt -parallel -workers 8 -outdir opt/ -report report.json
+//	aigre -batch jobs.txt -parallel -job-timeout 1m -retries 2 -journal run.jsonl
+//
+// Exit codes (for automation):
+//
+//	0  clean: every run/job completed without incidents
+//	1  hard error: I/O, parse, or equivalence-check failure
+//	2  usage error
+//	3  degraded: all jobs completed, but contained incidents were recorded
+//	4  job casualty: at least one batch job failed, timed out, was
+//	   cancelled, or was quarantined by the supervisor
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"aigre"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
+	"aigre/internal/journal"
 )
 
 func main() {
@@ -35,6 +46,10 @@ func main() {
 		maxJobs  = flag.Int("max-jobs", 0, "max concurrently running batch jobs (0 = workers)")
 		shCache  = flag.Bool("shared-cache", false, "share one resynthesis cache across all batch jobs (batch mode)")
 		timeout  = flag.Duration("timeout", 0, "overall run deadline, e.g. 30s (0 = none)")
+		jobTmo   = flag.Duration("job-timeout", 0, "per-job attempt deadline, e.g. 10s (batch mode; 0 = none)")
+		retries  = flag.Int("retries", 0, "retry budget per job for transient faults, timeouts, and stuck preemptions (batch mode)")
+		stuckTmo = flag.Duration("stuck-timeout", 0, "watchdog threshold: preempt a job whose kernel heartbeat stalls this long (batch mode; 0 = off)")
+		journalF = flag.String("journal", "", "append every supervision event (attempts, incidents, retries, quarantines) to this JSONL file")
 		out      = flag.String("out", "", "output AIGER file (optional; .aag = ASCII)")
 		script   = flag.String("script", "", "optimization script, e.g. \"b; rw; rfz\"")
 		resyn2   = flag.Bool("resyn2", false, "run the resyn2 sequence")
@@ -50,7 +65,7 @@ func main() {
 		partSize = flag.Int("partition-size", 0, "partition size target in AND nodes (0 = 100000)")
 		partRnds = flag.Int("partition-rounds", 0, "max seam-conflict rollback rounds before full rollback (0 = 2)")
 		verify   = flag.Bool("verify", false, "full per-command equivalence gate during script runs (default: sampling gate)")
-		inject   = flag.String("inject", "", "inject a deterministic fault: \"kernel-pattern:N:panic\" or \"kernel-pattern:N:corrupt\" (chaos testing, parallel mode)")
+		inject   = flag.String("inject", "", "inject a deterministic fault: \"kernel-pattern:N:panic\", \"...:corrupt\", or \"...:stall\" (chaos testing, parallel mode)")
 		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
 		cecWith  = flag.String("cec-with", "", "check equivalence of -in against this AIGER file and exit")
 		verbose  = flag.Bool("v", false, "print per-command statistics")
@@ -76,6 +91,10 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "aigre: -retries must be >= 0 (got %d)\n", *retries)
+		os.Exit(2)
+	}
 	if *batch != "" {
 		opts := aigre.Options{
 			Parallel:  *parallel,
@@ -85,7 +104,34 @@ func main() {
 			Verify:    *verify,
 			Partition: popts,
 		}
-		os.Exit(runBatch(ctx, *batch, *outdir, *report, *workers, *maxJobs, *shCache, opts))
+		if *inject != "" {
+			// Every job of the batch gets its own copy of the plan, so a
+			// chaos run injects the fault fleet-wide, one firing per job.
+			plan, err := parseInject(*inject)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aigre:", err)
+				os.Exit(2)
+			}
+			opts.FaultPlans = []gpu.FaultPlan{plan}
+		}
+		bopts := aigre.BatchOptions{
+			Workers:           *workers,
+			MaxConcurrentJobs: *maxJobs,
+			JournalPath:       *journalF,
+			Policy: aigre.Policy{
+				JobTimeout:   *jobTmo,
+				Retries:      *retries,
+				StuckTimeout: *stuckTmo,
+				// Degraded completions are worth a fresh attempt whenever a
+				// budget exists: the CLI's goal is the cleanest batch the
+				// budget can buy.
+				RetryDegraded: *retries > 0,
+			},
+		}
+		if *shCache {
+			bopts.SharedCache = aigre.NewCache()
+		}
+		os.Exit(runBatch(ctx, *batch, *outdir, *report, bopts, opts))
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "aigre: -in is required (or -batch)")
@@ -126,6 +172,7 @@ func main() {
 		// statistics only
 	}
 	cur := n
+	degraded := false
 	if s != "" {
 		opts := aigre.Options{
 			Parallel:  *parallel,
@@ -145,8 +192,16 @@ func main() {
 			opts.RwzPasses = 2
 		}
 		res, err := cur.Run(ctx, s, opts)
+		if *journalF != "" {
+			if jerr := journalSingleRun(*journalF, n.Name(), s, res, err); jerr != nil {
+				fmt.Fprintln(os.Stderr, "aigre:", jerr)
+			}
+		}
 		fatal(err)
 		cur = res.AIG
+		if len(res.Incidents) > 0 {
+			degraded = true
+		}
 		if *verbose {
 			for _, t := range res.Timings {
 				fmt.Fprintf(msg, "  %-4s wall=%-12v modeled=%-12v dedup=%-12v and=%d lev=%d\n",
@@ -208,6 +263,34 @@ func main() {
 		fatal(cur.WriteFile(*out))
 		fmt.Fprintln(msg, "wrote:  ", *out)
 	}
+	if degraded {
+		os.Exit(3)
+	}
+}
+
+// journalSingleRun appends a single (non-batch) run's history to the durable
+// journal: one attempt entry, every contained incident, and the outcome, in
+// the same schema batch supervision writes.
+func journalSingleRun(path, name, script string, res aigre.Result, runErr error) error {
+	j, err := journal.Create(path)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if name == "" {
+		name = "run"
+	}
+	j.Append(journal.Entry{Job: name, Attempt: 1, Event: journal.EventAttempt, Detail: script})
+	for i := range res.Incidents {
+		inc := res.Incidents[i]
+		inc.Attempt = 1
+		j.Append(journal.Entry{Job: name, Attempt: 1, Event: journal.EventIncident,
+			Class: inc.Class, Detail: inc.Detail, Incident: &inc})
+	}
+	if runErr != nil {
+		return j.Append(journal.Entry{Job: name, Attempt: 1, Event: journal.EventFail, Detail: runErr.Error()})
+	}
+	return j.Append(journal.Entry{Job: name, Attempt: 1, Event: journal.EventDone})
 }
 
 // profileReport is the JSON schema of -profile-json.
@@ -278,7 +361,7 @@ func writeProfileJSON(path, script, mode string, res aigre.Result) error {
 func parseInject(s string) (gpu.FaultPlan, error) {
 	parts := strings.Split(s, ":")
 	if len(parts) != 3 {
-		return gpu.FaultPlan{}, fmt.Errorf("bad -inject %q, want \"kernel-pattern:N:panic|corrupt\"", s)
+		return gpu.FaultPlan{}, fmt.Errorf("bad -inject %q, want \"kernel-pattern:N:panic|corrupt|stall\"", s)
 	}
 	n, err := strconv.Atoi(parts[1])
 	if err != nil || n < 1 {
@@ -290,8 +373,10 @@ func parseInject(s string) (gpu.FaultPlan, error) {
 		kind = gpu.FaultPanic
 	case "corrupt":
 		kind = gpu.FaultCorrupt
+	case "stall":
+		kind = gpu.FaultStall
 	default:
-		return gpu.FaultPlan{}, fmt.Errorf("bad -inject kind %q (want panic or corrupt)", parts[2])
+		return gpu.FaultPlan{}, fmt.Errorf("bad -inject kind %q (want panic, corrupt, or stall)", parts[2])
 	}
 	return gpu.FaultPlan{Kernel: parts[0], Nth: n, Kind: kind}, nil
 }

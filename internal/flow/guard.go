@@ -35,12 +35,31 @@ type Incident struct {
 	// Kernel is the failing kernel's name for launch-stage incidents.
 	Kernel string `json:"kernel,omitempty"`
 	// Action is what the runner did: "retried-sequential" (rolled back and
-	// re-ran on the sequential engine) or "skipped" (rolled back and moved
-	// on to the next command).
+	// re-ran on the sequential engine), "skipped" (rolled back and moved
+	// on to the next command), or "rolled-back" (a partition's result was
+	// discarded after a seam gate refuted the stitch).
 	Action string `json:"action"`
 	// Detail is a one-line human-readable description of the failure.
 	Detail string `json:"detail"`
+	// Class is the supervision class of the failure: ClassTransient for
+	// faults a fresh attempt can plausibly clear (aborted kernel launches,
+	// full hash tables, seam-gate rollbacks), ClassPermanent for faults
+	// that will reproduce on retry (invariant violations, equivalence
+	// refutations, non-kernel engine panics).
+	Class string `json:"class,omitempty"`
+	// Attempt is the 1-based supervised attempt of the job that recorded
+	// the incident; 0 when the run was not supervised.
+	Attempt int `json:"attempt,omitempty"`
+	// Time is the wall-clock moment the incident was recorded, so journal
+	// entries from concurrent jobs order correctly.
+	Time time.Time `json:"time"`
 }
+
+// Supervision classes of an Incident.
+const (
+	ClassTransient = "transient"
+	ClassPermanent = "permanent"
+)
 
 func (inc Incident) String() string {
 	s := fmt.Sprintf("command %d (%s): %s failure, %s", inc.Index, inc.Command, inc.Stage, inc.Action)
@@ -199,17 +218,24 @@ func EquivGate(before, after *aig.AIG, verify bool, rounds int, seed int64) erro
 // newIncident classifies an attempt or gate error into an incident record
 // (without an Action, which the caller decides).
 func newIncident(idx int, cmd string, err error) Incident {
-	inc := Incident{Index: idx, Command: cmd, Detail: err.Error()}
+	inc := Incident{Index: idx, Command: cmd, Detail: err.Error(), Time: time.Now()}
 	var le *gpu.LaunchError
 	var ge *gateError
 	switch {
 	case errors.As(err, &le):
+		// Aborted launches — kernel panics, full hash tables — are faults a
+		// fresh attempt can plausibly clear.
 		inc.Stage = "launch"
 		inc.Kernel = le.Kernel
+		inc.Class = ClassTransient
 	case errors.As(err, &ge):
+		// A gate refutation means the pass produced wrong output from this
+		// input; rerunning the same pass will reproduce it.
 		inc.Stage = ge.stage
+		inc.Class = ClassPermanent
 	default:
 		inc.Stage = "panic"
+		inc.Class = ClassPermanent
 	}
 	return inc
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // LaunchError reports a kernel launch that was aborted because one of its
@@ -41,13 +42,21 @@ type FaultKind int
 
 const (
 	// FaultPanic makes thread 0 of the target launch panic with
-	// ErrInjectedFault, exercising the panic-containment path.
+	// ErrInjectedFault (or the plan's Panic value, when set), exercising
+	// the panic-containment path.
 	FaultPanic FaultKind = iota + 1
 	// FaultCorrupt silently skips the last thread of the target launch —
 	// its writes never happen — modeling a lost or corrupted thread. The
 	// launch itself succeeds; downstream invariant and equivalence gates
 	// are expected to catch the damage.
 	FaultCorrupt
+	// FaultStall makes thread 0 of the target launch sleep for the plan's
+	// Stall duration (default 250ms) before running, modeling a stuck
+	// kernel: the launch eventually completes and the worker is released,
+	// but no launch boundary is reached while the stall lasts, so a
+	// watchdog polling the device Heartbeat sees the job go quiet and can
+	// preempt it (the next launch then refuses with a *CancelledError).
+	FaultStall
 )
 
 // FaultPlan deterministically injects one fault into the Nth kernel launch
@@ -60,6 +69,12 @@ type FaultPlan struct {
 	Kernel string
 	Nth    int
 	Kind   FaultKind
+	// Panic, when non-nil, replaces ErrInjectedFault as the panic value of a
+	// FaultPanic plan. Chaos tests use it to simulate typed kernel failures
+	// (e.g. hashtable.ErrTableFull) without reaching into the engines.
+	Panic error
+	// Stall is the sleep duration of a FaultStall plan (0 = 250ms).
+	Stall time.Duration
 
 	seen int // launches matched so far (internal)
 }
@@ -68,6 +83,15 @@ type FaultPlan struct {
 // plans. Pass no arguments to clear.
 func (d *Device) InjectFaults(plans ...FaultPlan) {
 	d.faults = append([]FaultPlan(nil), plans...)
+}
+
+// Faults returns a copy of the installed plans, including their internal
+// fire-progress, so a supervisor can carry not-yet-fired plans across job
+// attempts: snapshot the device before a retry and re-inject into the fresh
+// lease, and a plan armed for the Nth matching launch keeps counting from
+// where the failed attempt left off.
+func (d *Device) Faults() []FaultPlan {
+	return append([]FaultPlan(nil), d.faults...)
 }
 
 // FaultsArmed reports how many installed plans have not fired yet.
@@ -108,9 +132,24 @@ func (d *Device) applyFault(name string, n int, kernel func(tid int) int64) func
 		inner := kernel
 		switch p.Kind {
 		case FaultPanic:
+			val := p.Panic
 			return func(tid int) int64 {
 				if tid == 0 {
+					if val != nil {
+						panic(val)
+					}
 					panic(fmt.Errorf("%w: kernel %q", ErrInjectedFault, name))
+				}
+				return inner(tid)
+			}
+		case FaultStall:
+			stall := p.Stall
+			if stall <= 0 {
+				stall = 250 * time.Millisecond
+			}
+			return func(tid int) int64 {
+				if tid == 0 {
+					time.Sleep(stall)
 				}
 				return inner(tid)
 			}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestTryLaunchRecoversPanic checks that a panicking kernel thread surfaces
@@ -166,5 +167,88 @@ func TestAbortedLaunchStillAccounted(t *testing.T) {
 	}
 	if d.Stats().Work < 4 {
 		t.Errorf("partial work not accounted: %+v", d.Stats())
+	}
+}
+
+// TestFaultPlanPanicValue checks that a plan's Panic value replaces
+// ErrInjectedFault as the recovered panic, so chaos tests can simulate typed
+// kernel failures such as a full hash table.
+func TestFaultPlanPanicValue(t *testing.T) {
+	sentinel := errors.New("table full")
+	d := New(2)
+	d.InjectFaults(FaultPlan{Kernel: "insert", Kind: FaultPanic, Panic: sentinel})
+	err := d.TryLaunch("insert", 64, func(tid int) int64 { return 1 })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("injected panic value not surfaced: %v", err)
+	}
+	if errors.Is(err, ErrInjectedFault) {
+		t.Errorf("custom panic value still wrapped ErrInjectedFault")
+	}
+}
+
+// TestFaultPlanStall checks that a stall plan delays the launch without
+// failing it, and that the delay gap is visible through the heartbeat.
+func TestFaultPlanStall(t *testing.T) {
+	d := New(2)
+	hb := &Heartbeat{}
+	d.SetHeartbeat(hb)
+	d.InjectFaults(FaultPlan{Kernel: "slow", Kind: FaultStall, Stall: 30 * time.Millisecond})
+	if err := d.TryLaunch("warm", 8, func(tid int) int64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	last := hb.Last()
+	start := time.Now()
+	if err := d.TryLaunch("slow", 8, func(tid int) int64 { return 1 }); err != nil {
+		t.Fatalf("stalled launch errored: %v", err)
+	}
+	if got := time.Since(start); got < 30*time.Millisecond {
+		t.Errorf("stall not applied: launch took %v", got)
+	}
+	if !hb.Last().After(last) {
+		t.Errorf("heartbeat did not advance across the stalled launch")
+	}
+}
+
+// TestFaultsSnapshotCarriesProgress checks that Faults() preserves internal
+// fire-progress, so re-injecting the snapshot into a fresh device continues
+// the Nth-launch countdown instead of restarting it.
+func TestFaultsSnapshotCarriesProgress(t *testing.T) {
+	d := New(1)
+	d.InjectFaults(FaultPlan{Kernel: "k", Nth: 3, Kind: FaultPanic})
+	kernel := func(tid int) int64 { return 1 }
+	if err := d.TryLaunch("k", 4, kernel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TryLaunch("k", 4, kernel); err != nil {
+		t.Fatal(err)
+	}
+	// Two of three matching launches seen; carry the plan to a new device.
+	d2 := New(1)
+	d2.InjectFaults(d.Faults()...)
+	if err := d2.TryLaunch("k", 4, kernel); err == nil {
+		t.Fatalf("carried plan did not fire on the 3rd cumulative launch")
+	}
+	if d2.FaultsArmed() != 0 {
+		t.Errorf("FaultsArmed = %d after firing", d2.FaultsArmed())
+	}
+}
+
+// TestHeartbeatBeats checks the heartbeat counters and the zero-value Last.
+func TestHeartbeatBeats(t *testing.T) {
+	hb := &Heartbeat{}
+	if !hb.Last().IsZero() {
+		t.Errorf("fresh heartbeat has non-zero Last")
+	}
+	d := New(2)
+	d.SetHeartbeat(hb)
+	if err := d.TryLaunch("k", 16, func(tid int) int64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	// One beat at the launch boundary, one when the launch is accounted.
+	if hb.Beats() < 2 {
+		t.Errorf("Beats = %d after one launch, want >= 2", hb.Beats())
+	}
+	if hb.Last().IsZero() {
+		t.Errorf("Last still zero after beating")
 	}
 }

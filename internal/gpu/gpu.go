@@ -113,10 +113,47 @@ type Device struct {
 	workers int
 	exec    Executor        // nil = spawn goroutines per launch; else a shared pool
 	ctx     context.Context // nil = never cancelled; checked at launch boundaries
+	hb      *Heartbeat      // nil = no liveness reporting
 	stats   Stats
 	profile map[string]*KernelProfile
 	faults  []FaultPlan
 }
+
+// Heartbeat is a liveness signal a device bumps at every kernel-launch
+// boundary. A watchdog on another goroutine polls Last(): a job whose
+// device heartbeat goes quiet is stuck inside a kernel (or between
+// launches) and can be preempted. All methods are safe for concurrent use;
+// the beat path is two atomic stores, cheap enough for every launch.
+type Heartbeat struct {
+	beats atomic.Int64
+	last  atomic.Int64 // unix nanoseconds of the latest beat
+}
+
+// Beat records a liveness tick now.
+func (h *Heartbeat) Beat() {
+	h.last.Store(time.Now().UnixNano())
+	h.beats.Add(1)
+}
+
+// Beats returns the number of ticks recorded so far.
+func (h *Heartbeat) Beats() int64 { return h.beats.Load() }
+
+// Last returns the wall-clock time of the latest tick (the zero time before
+// the first beat).
+func (h *Heartbeat) Last() time.Time {
+	ns := h.last.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// SetHeartbeat attaches a liveness heartbeat to the device: every subsequent
+// kernel launch and accounted primitive beats it. Several devices may share
+// one heartbeat (the partition runner's sub-jobs all report into their
+// parent job's). A nil h removes the binding. Like Bind, SetHeartbeat must
+// be called from the orchestration goroutine.
+func (d *Device) SetHeartbeat(h *Heartbeat) { d.hb = h }
 
 // Executor runs the host worker bodies of a kernel launch on behalf of a
 // device. An implementation typically multiplexes many devices over one
@@ -225,6 +262,9 @@ func (d *Device) TryLaunch(name string, n int, kernel func(tid int) int64) error
 		if err := d.ctx.Err(); err != nil {
 			return &CancelledError{Kernel: name, Err: err}
 		}
+	}
+	if d.hb != nil {
+		d.hb.Beat() // launch boundary reached: the job is alive
 	}
 	kernel = d.applyFault(name, n, kernel)
 	start := time.Now()

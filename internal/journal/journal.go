@@ -1,0 +1,160 @@
+// Package journal provides a durable append-only JSONL incident journal for
+// supervised job fleets.
+//
+// Every supervision event — an attempt starting, a contained flow.Incident, a
+// retry with its backoff, a watchdog preemption, a deadline timeout, a
+// quarantine, and the final outcome — is appended as one JSON line, flushed
+// before Append returns. The file therefore survives the process: a crashed
+// or killed run leaves a replayable prefix, and Replay tolerates a torn final
+// line (a crash mid-write) by ignoring the truncated tail.
+//
+// The journal is the durability half of the supervisor: internal/sched
+// decides what happens to a job, the journal records that it happened. The
+// planned aigred daemon reads the same format as its job history.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"aigre/internal/flow"
+)
+
+// Event names recorded in journal entries.
+const (
+	EventAttempt    = "attempt"    // an attempt of a job started
+	EventIncident   = "incident"   // a contained flow.Incident during an attempt
+	EventRetry      = "retry"      // a failed/degraded attempt will be retried after Backoff
+	EventPreempt    = "preempt"    // the watchdog preempted a stuck attempt
+	EventTimeout    = "timeout"    // the per-job deadline expired
+	EventQuarantine = "quarantine" // the job exhausted its retry budget and was quarantined
+	EventDone       = "done"       // the job finished successfully
+	EventFail       = "fail"       // the job failed with a permanent, non-retryable error
+	EventCancel     = "cancel"     // the job was cancelled from outside (batch/engine shutdown)
+)
+
+// Entry is one journal line. Seq orders entries within a single journal even
+// when wall clocks of concurrent jobs collide; Time orders entries across
+// journals and survives into post-mortem tooling.
+type Entry struct {
+	Seq     int64         `json:"seq"`
+	Time    time.Time     `json:"time"`
+	Job     string        `json:"job"`
+	Attempt int           `json:"attempt,omitempty"`
+	Event   string        `json:"event"`
+	Class   string        `json:"class,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+	Backoff time.Duration `json:"backoff_ns,omitempty"`
+
+	// Incident carries the full contained-failure record for incident
+	// events, so the journal alone reconstructs what degraded and why.
+	Incident *flow.Incident `json:"incident,omitempty"`
+}
+
+// Journal is a concurrency-safe append-only JSONL writer. The zero value and
+// a nil *Journal are both valid no-op journals, so call sites never need to
+// guard Append behind a nil check.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	f   *os.File // non-nil when the journal owns the file
+	seq int64
+}
+
+// Create opens (creating or appending to) a journal file at path.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{w: f, f: f}, nil
+}
+
+// New wraps an arbitrary writer (a buffer in tests, a pipe in a daemon).
+func New(w io.Writer) *Journal {
+	return &Journal{w: w}
+}
+
+// Append stamps the entry with the next sequence number and the current time
+// (when unset) and writes it as one JSON line. Safe for concurrent use; a nil
+// journal discards the entry. The line is written with a single Write call so
+// concurrent appenders through an os.File never interleave bytes.
+func (j *Journal) Append(e Entry) error {
+	if j == nil || j.w == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e.Seq = j.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file, if the journal owns one.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.f.Close()
+	j.f = nil
+	j.w = nil
+	return err
+}
+
+// Read decodes journal lines from r. A truncated final line — the footprint
+// of a process killed mid-append — is ignored; any other malformed line is an
+// error, since it means the file is not a journal.
+func Read(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var entries []Entry
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// The malformed line was not the last one: corrupt journal.
+			return entries, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("journal: malformed line: %w", err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return entries, fmt.Errorf("journal: %w", err)
+	}
+	return entries, nil
+}
+
+// Replay reads a journal file back, tolerating a torn final line.
+func Replay(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,192 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aigre/internal/flow"
+)
+
+// TestAppendReplayRoundTrip checks that entries written to a file replay in
+// order with sequence numbers, timestamps, and embedded incidents intact.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := &flow.Incident{Index: 2, Command: "rw", Stage: "launch",
+		Kernel: "rewrite/evaluate", Action: "retried-sequential",
+		Class: flow.ClassTransient, Attempt: 1, Time: time.Now()}
+	events := []Entry{
+		{Job: "a", Attempt: 1, Event: EventAttempt},
+		{Job: "a", Attempt: 1, Event: EventIncident, Class: flow.ClassTransient, Incident: inc},
+		{Job: "a", Attempt: 1, Event: EventRetry, Backoff: 5 * time.Millisecond},
+		{Job: "a", Attempt: 2, Event: EventDone},
+	}
+	for _, e := range events {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(events))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i+1) {
+			t.Errorf("entry %d: seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("entry %d: zero timestamp", i)
+		}
+		if e.Event != events[i].Event || e.Job != events[i].Job || e.Attempt != events[i].Attempt {
+			t.Errorf("entry %d: %+v does not match appended %+v", i, e, events[i])
+		}
+	}
+	if got[1].Incident == nil || got[1].Incident.Kernel != "rewrite/evaluate" ||
+		got[1].Incident.Class != flow.ClassTransient || got[1].Incident.Attempt != 1 {
+		t.Errorf("incident did not round-trip: %+v", got[1].Incident)
+	}
+	if got[2].Backoff != 5*time.Millisecond {
+		t.Errorf("backoff did not round-trip: %v", got[2].Backoff)
+	}
+}
+
+// TestNilJournalIsNoOp checks that a nil journal silently discards appends,
+// so call sites never guard against an unconfigured journal.
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Entry{Job: "x", Event: EventDone}); err != nil {
+		t.Fatalf("nil journal Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("nil journal Close: %v", err)
+	}
+	var zero Journal
+	if err := zero.Append(Entry{Job: "x", Event: EventDone}); err != nil {
+		t.Fatalf("zero journal Append: %v", err)
+	}
+}
+
+// TestTruncatedTailTolerated checks that a torn final line — a process killed
+// mid-append — is ignored on replay while full lines before it survive.
+func TestTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Entry{Job: "a", Attempt: i + 1, Event: EventAttempt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"time":"2026-01-01T00:00:00Z","job":"a","ev`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(got))
+	}
+}
+
+// TestCorruptMiddleRejected checks that a malformed line followed by more
+// lines is reported as corruption, not silently skipped.
+func TestCorruptMiddleRejected(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"seq":1,"time":"2026-01-01T00:00:00Z","job":"a","event":"attempt"}` + "\n")
+	b.WriteString("not json\n")
+	b.WriteString(`{"seq":3,"time":"2026-01-01T00:00:00Z","job":"a","event":"done"}` + "\n")
+	_, err := Read(strings.NewReader(b.String()))
+	if err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+}
+
+// TestConcurrentAppend hammers one journal from many goroutines under -race
+// and checks every line lands whole with a unique sequence number.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e := Entry{Job: fmt.Sprintf("job%d", w), Attempt: i + 1, Event: EventIncident,
+					Incident: &flow.Incident{Index: i, Command: "rw", Stage: "launch",
+						Class: flow.ClassTransient, Time: time.Now()}}
+				if err := j.Append(e); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*per {
+		t.Fatalf("replayed %d entries, want %d", len(got), writers*per)
+	}
+	seen := make(map[int64]bool, len(got))
+	for _, e := range got {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestAppendToBuffer checks the writer-backed constructor used by tests and
+// future daemon pipes.
+func TestAppendToBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	if err := j.Append(Entry{Job: "b", Event: EventQuarantine, Detail: "retry budget exhausted"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Event != EventQuarantine {
+		t.Fatalf("unexpected entries: %+v", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"aigre/internal/aig"
 	"aigre/internal/flow"
+	"aigre/internal/journal"
 	"aigre/internal/rcache"
 	"aigre/internal/sched"
 )
@@ -83,6 +84,16 @@ type Options struct {
 	Flow flow.Config
 	// Seed makes the gate sampling deterministic (0 = 1).
 	Seed int64
+	// Supervise is the supervision policy for the per-partition jobs
+	// (deadline, retry budget, watchdog). A partitioned batch job passes a
+	// policy whose Budget is shared with its own outer attempts, so
+	// per-partition retries draw down the job's allowance rather than
+	// multiplying it by the partition count.
+	Supervise sched.Policy
+	// Journal, when non-nil, receives the partition jobs' supervision
+	// events (and this layer's seam-gate rollback incidents go to the
+	// aggregated Result.Incidents regardless).
+	Journal *journal.Journal
 }
 
 func (o Options) normalized() Options {
@@ -134,10 +145,12 @@ type PartStat struct {
 	RolledBack bool   `json:"rolled_back,omitempty"`
 	Note       string `json:"note,omitempty"`
 	// Queued and Wall are the partition job's scheduling delay and host run
-	// time; Incidents counts contained failures inside the job.
+	// time; Incidents counts contained failures inside the job; Attempts is
+	// how many supervised attempts the job took (1 with no retries).
 	Queued    time.Duration `json:"queued_ns"`
 	Wall      time.Duration `json:"wall_ns"`
 	Incidents int           `json:"incidents,omitempty"`
+	Attempts  int           `json:"attempts,omitempty"`
 }
 
 // Result is the outcome of a partition-parallel run.
@@ -228,7 +241,11 @@ func Run(ctx context.Context, a *aig.AIG, script string, opts Options) (Result, 
 			Config:   opts.Flow,
 		}
 	}
-	results, _ := sched.RunJobs(ctx, pool, jobs, opts.Workers)
+	results, _ := sched.RunSupervised(ctx, pool, jobs, sched.Options{
+		MaxConcurrentJobs: opts.Workers,
+		Policy:            opts.Supervise,
+		Journal:           opts.Journal,
+	})
 
 	gateRounds := opts.Flow.GateRounds
 	if gateRounds == 0 {
@@ -253,6 +270,7 @@ func Run(ctx context.Context, a *aig.AIG, script string, opts Options) (Result, 
 		st.NodesIn = pres[i].NumAnds()
 		st.Queued, st.Wall = r.Queued, r.Wall
 		st.Incidents = len(r.Incidents)
+		st.Attempts = r.Attempts
 		res.Incidents = append(res.Incidents, r.Incidents...)
 		res.Modeled += r.Modeled
 		if r.Err != nil {
@@ -272,6 +290,8 @@ func Run(ctx context.Context, a *aig.AIG, script string, opts Options) (Result, 
 			st.RolledBack = true
 			st.Note = err.Error()
 			res.Rollbacks++
+			res.Incidents = append(res.Incidents,
+				rollbackIncident(i, "equivalence", flow.ClassPermanent, err.Error()))
 			continue
 		}
 		chosen[i] = r.AIG

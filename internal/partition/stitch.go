@@ -2,10 +2,29 @@ package partition
 
 import (
 	"fmt"
+	"time"
 
 	"aigre/internal/aig"
 	"aigre/internal/flow"
 )
+
+// rollbackIncident records a partition rollback as a classified incident, so
+// the supervision journal and batch reports see seam repairs the same way
+// they see contained kernel faults. Seam-gate rollbacks are transient — a
+// fresh attempt re-partitions and usually lands clean ("Parallel AIG
+// Refactoring via Conflict Breaking" treats conflicts as retryable) — while
+// a local equivalence refutation is permanent.
+func rollbackIncident(idx int, stage, class, detail string) flow.Incident {
+	return flow.Incident{
+		Index:   idx,
+		Command: "partition",
+		Stage:   stage,
+		Action:  "rolled-back",
+		Class:   class,
+		Detail:  detail,
+		Time:    time.Now(),
+	}
+}
 
 // stitch replays the chosen cone of every partition into one fresh, fully
 // strashed network. Partitions are replayed in index order (a partition's
@@ -159,6 +178,8 @@ func resolve(base *aig.AIG, parts []*part, pres, chosen []*aig.AIG, cfg resolveC
 					res.Parts[i].RolledBack = true
 					res.Parts[i].Note = "refuted during seam conflict round"
 					res.Rollbacks++
+					res.Incidents = append(res.Incidents, rollbackIncident(i,
+						"seam-gate", flow.ClassTransient, "refuted during seam conflict round"))
 					rolled = true
 					break
 				}
@@ -175,6 +196,8 @@ func resolve(base *aig.AIG, parts []*part, pres, chosen []*aig.AIG, cfg resolveC
 				res.Parts[i].RolledBack = true
 				res.Parts[i].Note = "rolled back with all partitions after seam refutation"
 				res.Rollbacks++
+				res.Incidents = append(res.Incidents, rollbackIncident(i,
+					"seam-gate", flow.ClassTransient, "rolled back with all partitions after seam refutation"))
 			}
 		}
 	}

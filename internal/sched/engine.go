@@ -11,6 +11,7 @@ import (
 	"aigre/internal/aig"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
+	"aigre/internal/journal"
 	"aigre/internal/rcache"
 )
 
@@ -42,6 +43,13 @@ type Job struct {
 	// and Script still labels the job. The partition-parallel batch path
 	// uses this to fan a job's sub-partitions onto the engine's pool.
 	Custom func(ctx context.Context, pool *Pool) (flow.Result, error)
+	// Policy, when non-nil, overrides the engine-wide supervision policy
+	// for this job.
+	Policy *Policy
+	// FaultPlans is a chaos/test facility: the plans are injected into each
+	// attempt's leased device, with fire-progress carried across attempts.
+	// Ignored for Custom jobs, which manage their own leases.
+	FaultPlans []gpu.FaultPlan
 }
 
 // Result reports one finished job.
@@ -56,8 +64,20 @@ type Result struct {
 	// cancelled, or the script error. Contained engine failures do not set
 	// Err — they are listed in Incidents.
 	Err error
-	// Cancelled reports that Err traces back to context cancellation.
+	// Cancelled reports that Err traces back to external cancellation (the
+	// batch or engine shut down). Deadline expiries set TimedOut instead.
 	Cancelled bool
+	// TimedOut reports that Err traces back to an expired deadline — the
+	// job's own Policy.JobTimeout or the batch-wide one.
+	TimedOut bool
+	// Quarantined reports that the job was poison: a retryable failure
+	// class exhausted its retry budget (or the watchdog caught it stuck),
+	// and the supervisor withdrew it rather than let it starve the pool.
+	Quarantined bool
+	// Attempts is how many supervised attempts ran (1 with no retries).
+	Attempts int
+	// Preemptions is how many attempts the watchdog preempted as stuck.
+	Preemptions int
 
 	Queued  time.Duration // submission -> start
 	Wall    time.Duration // start -> finish, host time
@@ -82,6 +102,13 @@ type Metrics struct {
 	Finished  int // completed without error
 	Failed    int
 	Cancelled int
+	// TimedOut counts jobs killed by a deadline (their own or the batch's);
+	// Quarantined counts poison jobs withdrawn by the supervisor. Both are
+	// disjoint from Failed and Cancelled.
+	TimedOut    int
+	Quarantined int
+	// Retries counts extra attempts beyond the first, fleet-wide.
+	Retries int
 	// QueueDepth is the number of jobs still waiting at the time of the
 	// Metrics call; PeakQueueDepth the high-water mark.
 	QueueDepth     int
@@ -115,6 +142,11 @@ type Options struct {
 	// bounds memory held by in-flight jobs and keeps the priority queue
 	// meaningful.
 	MaxConcurrentJobs int
+	// Policy is the engine-wide supervision policy (zero = one attempt, no
+	// deadline, no watchdog). Job.Policy overrides it per job.
+	Policy Policy
+	// Journal, when non-nil, receives every supervision event durably.
+	Journal *journal.Journal
 }
 
 // Ticket is the handle Submit returns; Wait blocks for the job's Result.
@@ -144,8 +176,10 @@ type queuedJob struct {
 // Engine admits jobs by priority onto a bounded set of job runners, leasing
 // device capacity for each from the shared pool.
 type Engine struct {
-	pool *Pool
-	ctx  context.Context // engine-wide cancellation
+	pool   *Pool
+	ctx    context.Context // engine-wide cancellation
+	policy Policy
+	jour   *journal.Journal
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -168,7 +202,7 @@ func NewEngine(ctx context.Context, pool *Pool, opts Options) *Engine {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e := &Engine{pool: pool, ctx: ctx}
+	e := &Engine{pool: pool, ctx: ctx, policy: opts.Policy, jour: opts.Journal}
 	e.cond = sync.NewCond(&e.mu)
 	e.metrics.Workers = pool.Workers()
 	n := opts.MaxConcurrentJobs
@@ -257,12 +291,19 @@ func (e *Engine) runner() {
 		res := e.run(q)
 		e.mu.Lock()
 		switch {
+		case res.Quarantined:
+			e.metrics.Quarantined++
+		case res.TimedOut:
+			e.metrics.TimedOut++
 		case res.Cancelled:
 			e.metrics.Cancelled++
 		case res.Err != nil:
 			e.metrics.Failed++
 		default:
 			e.metrics.Finished++
+		}
+		if res.Attempts > 1 {
+			e.metrics.Retries += res.Attempts - 1
 		}
 		e.metrics.JobWall += res.Wall
 		e.metrics.Modeled += res.Modeled
@@ -273,7 +314,9 @@ func (e *Engine) runner() {
 	}
 }
 
-// run executes one job under the merged per-job + engine-wide context.
+// run executes one job under the merged per-job + engine-wide context,
+// delegating the attempt loop to the supervisor (a zero policy runs exactly
+// one attempt with no deadline or watchdog).
 func (e *Engine) run(q *queuedJob) Result {
 	res := Result{Name: q.job.Name, Script: q.job.Script}
 	res.NodesBefore = q.job.AIG.NumAnds()
@@ -281,7 +324,7 @@ func (e *Engine) run(q *queuedJob) Result {
 	start := time.Now()
 	res.Queued = start.Sub(q.submitted)
 
-	ctx, cancel := context.WithCancel(q.ctx)
+	outer, cancel := context.WithCancel(q.ctx)
 	defer cancel()
 	stop := context.AfterFunc(e.ctx, cancel)
 	defer stop()
@@ -292,34 +335,16 @@ func (e *Engine) run(q *queuedJob) Result {
 		cancel()
 	}
 
-	cfg := q.job.Config
-	cfg.Device = nil
-	var fres flow.Result
-	var err error
-	if q.job.Custom != nil {
-		fres, err = q.job.Custom(ctx, e.pool)
-	} else {
-		if cfg.Parallel {
-			cfg.Device = e.pool.Lease(q.job.Workers)
-		}
-		fres, err = flow.Run(ctx, q.job.AIG, q.job.Script, cfg)
+	pol := e.policy
+	if q.job.Policy != nil {
+		pol = *q.job.Policy
 	}
+	e.supervise(outer, q, pol, &res)
 	res.Wall = time.Since(start)
-	res.Modeled = fres.TotalModeled
-	res.Timings = fres.Timings
-	res.Incidents = fres.Incidents
-	res.CacheStats = fres.CacheStats
-	res.AIG = fres.AIG
-	if cfg.Device != nil {
-		res.Profile = cfg.Device.Profile()
-	}
 	if res.AIG != nil {
 		res.NodesAfter = res.AIG.NumAnds()
 		res.LevelsAfter = res.AIG.Levels()
 	}
-	res.Err = err
-	res.Cancelled = err != nil &&
-		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	return res
 }
 
@@ -328,7 +353,14 @@ func (e *Engine) run(q *queuedJob) Result {
 // submission order together with the fleet metrics. maxConcurrent bounds
 // simultaneous jobs (0 = pool workers).
 func RunJobs(ctx context.Context, pool *Pool, jobs []Job, maxConcurrent int) ([]Result, Metrics) {
-	e := NewEngine(ctx, pool, Options{MaxConcurrentJobs: maxConcurrent})
+	return RunSupervised(ctx, pool, jobs, Options{MaxConcurrentJobs: maxConcurrent})
+}
+
+// RunSupervised is RunJobs with full engine options: a supervision policy
+// governing every job (per-job overrides via Job.Policy) and an optional
+// durable journal receiving the fleet's lifecycle events.
+func RunSupervised(ctx context.Context, pool *Pool, jobs []Job, opts Options) ([]Result, Metrics) {
+	e := NewEngine(ctx, pool, opts)
 	tickets := make([]*Ticket, len(jobs))
 	for i, j := range jobs {
 		t, err := e.Submit(ctx, j)

@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"aigre/internal/flow"
+	"aigre/internal/gpu"
+	"aigre/internal/hashtable"
+)
+
+// ErrStuck is the cancellation cause the watchdog sets when it preempts an
+// attempt whose heartbeat went quiet. The attempt observes it as an ordinary
+// context cancellation; the supervisor recovers the cause with context.Cause
+// and classifies the attempt ClassStuck.
+var ErrStuck = errors.New("sched: job preempted: heartbeat stalled")
+
+// Class is the supervision class of a job failure: it decides whether a
+// fresh attempt is worth a retry token.
+type Class int
+
+const (
+	// ClassNone: no failure.
+	ClassNone Class = iota
+	// ClassTransient faults can plausibly clear on a fresh attempt: an
+	// aborted kernel launch (*gpu.LaunchError), a full hash table, a
+	// seam-gate rollback.
+	ClassTransient
+	// ClassPermanent faults reproduce on retry: equivalence refutations,
+	// structural invariant violations, script parse errors, non-kernel
+	// engine panics.
+	ClassPermanent
+	// ClassTimeout: the attempt's own deadline (Policy.JobTimeout) expired.
+	ClassTimeout
+	// ClassStuck: the watchdog preempted the attempt (heartbeat stalled).
+	ClassStuck
+	// ClassCancelled: cancellation from outside the supervisor — the batch
+	// or engine shut down. Never retried.
+	ClassCancelled
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return flow.ClassTransient
+	case ClassPermanent:
+		return flow.ClassPermanent
+	case ClassTimeout:
+		return "timeout"
+	case ClassStuck:
+		return "stuck"
+	case ClassCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// Retryable reports whether a failure of this class may draw a retry token.
+// Timeouts and watchdog preemptions are retryable: under fleet contention
+// they are often transient, and the retry budget bounds the damage when they
+// are not (the job is then quarantined).
+func (c Class) Retryable() bool {
+	return c == ClassTransient || c == ClassTimeout || c == ClassStuck
+}
+
+// Classify maps an attempt error to its supervision class.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	var le *gpu.LaunchError
+	switch {
+	case errors.Is(err, ErrStuck):
+		return ClassStuck
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, context.Canceled):
+		return ClassCancelled
+	case errors.Is(err, hashtable.ErrTableFull):
+		return ClassTransient
+	case errors.As(err, &le):
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// Policy governs one supervised job: deadline, retry budget, backoff shape,
+// and watchdog threshold. The zero Policy supervises nothing — one attempt,
+// no deadline, no watchdog — so unsupervised callers pay nothing.
+type Policy struct {
+	// JobTimeout is the per-attempt deadline (0 = none). Distinct from
+	// whole-batch cancellation: an expired attempt may be retried.
+	JobTimeout time.Duration
+	// Retries is the job's retry budget: how many extra attempts retryable
+	// failures may consume (0 = fail/quarantine on the first failure).
+	Retries int
+	// RetryDegraded treats an attempt that completed but recorded
+	// transient-class incidents (a contained kernel fault degraded a
+	// command) as retryable: the degraded result is discarded and the job
+	// re-runs, hoping for a clean pass. When the budget runs out the last
+	// degraded result stands.
+	RetryDegraded bool
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it (default 5ms when retries are enabled).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 500ms).
+	MaxBackoff time.Duration
+	// StuckTimeout arms the watchdog: an attempt whose device heartbeat
+	// advances nothing for this long is preempted (0 = no watchdog). Only
+	// parallel and custom jobs are watched — sequential jobs never beat.
+	StuckTimeout time.Duration
+	// Seed makes retry jitter deterministic (tests); 0 is a valid seed.
+	Seed int64
+	// Budget, when non-nil, replaces the per-job budget minted from
+	// Retries. A partitioned job shares one budget between its outer
+	// attempts and its per-partition inner attempts, so partition retries
+	// draw down the same allowance.
+	Budget *RetryBudget
+}
+
+// enabled reports whether the policy asks for any supervision beyond a bare
+// single attempt.
+func (p Policy) enabled() bool {
+	return p.JobTimeout > 0 || p.Retries > 0 || p.StuckTimeout > 0 ||
+		p.RetryDegraded || p.Budget != nil
+}
+
+// retriesEnabled reports whether the policy carries a nonzero retry
+// allowance (its own or a shared budget).
+func (p Policy) retriesEnabled() bool {
+	return p.Retries > 0 || p.Budget != nil
+}
+
+// backoffFor returns the pause before retrying after the given (1-based)
+// failed attempt: exponential doubling from Backoff, capped at MaxBackoff,
+// with deterministic ±50% jitter so synchronized retries de-correlate.
+func (p Policy) backoffFor(attempt int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 500 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	rng := rand.New(rand.NewSource(p.Seed*1000003 + int64(attempt)))
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+// RetryBudget is a shared pool of retry tokens. A partitioned job hands one
+// budget to both its outer supervisor and its per-partition jobs, so however
+// the faults land, the job's total retry allowance is bounded.
+type RetryBudget struct {
+	n atomic.Int64
+}
+
+// NewRetryBudget mints a budget of n tokens.
+func NewRetryBudget(n int) *RetryBudget {
+	b := &RetryBudget{}
+	b.n.Store(int64(n))
+	return b
+}
+
+// Take claims one token; it reports false when the budget is exhausted.
+// A nil budget has nothing to give.
+func (b *RetryBudget) Take() bool {
+	if b == nil {
+		return false
+	}
+	for {
+		cur := b.n.Load()
+		if cur <= 0 {
+			return false
+		}
+		if b.n.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Remaining reports the tokens left.
+func (b *RetryBudget) Remaining() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.n.Load())
+}
+
+// hbKey carries a *gpu.Heartbeat through a context so nested engines (a
+// partitioned job fanning sub-jobs onto the same pool) attach their device
+// leases to the supervising watchdog's heartbeat.
+type hbKey struct{}
+
+// WithHeartbeat returns a context carrying hb.
+func WithHeartbeat(ctx context.Context, hb *gpu.Heartbeat) context.Context {
+	return context.WithValue(ctx, hbKey{}, hb)
+}
+
+// HeartbeatFrom extracts the heartbeat installed by WithHeartbeat, or nil.
+func HeartbeatFrom(ctx context.Context) *gpu.Heartbeat {
+	hb, _ := ctx.Value(hbKey{}).(*gpu.Heartbeat)
+	return hb
+}

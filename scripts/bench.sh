@@ -2,7 +2,7 @@
 # Benchmark-regression harness: rerun the paper-table benchmarks with
 # -benchmem, compare ns/op and allocs/op against the recorded pre-cache
 # baseline (scripts/bench_baseline.txt), write the combined report to
-# BENCH_5.json, and fail the run on gross regressions:
+# BENCH_<N>.json, and fail the run on gross regressions:
 #
 #   - allocs/op more than 10% above baseline (allocation counts are
 #     deterministic, so even small regressions are real), or
@@ -13,15 +13,21 @@
 #
 # Run from anywhere; `make bench` is an alias. Override the iteration count
 # with BENCHTIME (default 1x, matching how the baseline was recorded). The
-# report lands in BENCH_<N>.json where N comes from scripts/pr_sequence, so
-# each PR appends its own artifact next to the earlier ones; BENCH_OUT
-# overrides the path entirely.
+# report lands in BENCH_<N>.json where N comes from scripts/pr_sequence, or
+# — when that file is absent — one past the highest BENCH_<N>.json already
+# recorded, so each PR's run auto-appends a fresh artifact next to the
+# earlier ones; BENCH_OUT overrides the path entirely.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 BASELINE=scripts/bench_baseline.txt
-SEQ=$(cat scripts/pr_sequence 2>/dev/null || echo 5)
+if [ -f scripts/pr_sequence ]; then
+    SEQ=$(cat scripts/pr_sequence)
+else
+    SEQ=$(ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
+    SEQ=$((${SEQ:-0} + 1))
+fi
 OUT="${BENCH_OUT:-BENCH_${SEQ}.json}"
 CUR=$(mktemp)
 trap 'rm -f "$CUR"' EXIT

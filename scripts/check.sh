@@ -33,5 +33,16 @@ go test -race -run 'Pool|Engine|Lease|RunBatch|Cancel' ./internal/sched/ ./inter
 # mode — explicitly, under -race.
 go test -timeout 20m -run 'TestPartitionMillionNodeSmoke' .
 go test -race -run 'TestPartitionStressRace|TestResolveRollsBack|TestPartitionedBatchJob' ./internal/partition/ .
+# Supervision chaos gate: a randomized (but seeded and printed, hence
+# reproducible) fault schedule over an 8-job batch under -race — kernel
+# panics, typed hashtable-full failures, silent corruptions, and one poison
+# job the watchdog must preempt and quarantine. Surviving outputs must stay
+# CEC-equivalent to a fault-free run and the journal must replay the full
+# supervision history. Override the seed with CHAOS_SEED=n to reproduce.
+CHAOS_SEED="${CHAOS_SEED:-$(date +%s)}"
+echo "chaos gate seed: $CHAOS_SEED"
+go test -race -count=1 -run 'TestChaosBatchSupervision' -chaos-seed="$CHAOS_SEED" .
+# Supervision/journal concurrency, explicitly, under -race.
+go test -race -count=1 -run 'TestConcurrentIncidentAppendStress|TestConcurrentAppend' ./internal/sched/ ./internal/journal/
 # Fuzz smoke: the AIGER parser must never panic on arbitrary input.
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
