@@ -6,8 +6,7 @@ import (
 	"time"
 
 	"aigre/internal/flow"
-	"aigre/internal/journal"
-	"aigre/internal/partition"
+	"aigre/internal/gpu"
 	"aigre/internal/sched"
 )
 
@@ -155,6 +154,10 @@ type BatchResult struct {
 
 	Timings   []flow.CommandTiming
 	Incidents []flow.Incident
+	// Profile is the per-kernel device profile of a parallel job (nil for
+	// sequential and partitioned jobs); see gpu.FormatProfile for a printable
+	// table.
+	Profile []gpu.KernelProfile
 	// CacheStats is the resynthesis-cache traffic observed while the job ran.
 	// The counters are cache-global: under a shared cache the delta includes
 	// concurrently running jobs' traffic.
@@ -205,137 +208,32 @@ func RunBatch(ctx context.Context, jobs []Batch, opts BatchOptions) ([]BatchResu
 	if len(jobs) == 0 {
 		return nil, BatchMetrics{}, fmt.Errorf("aigre: empty batch")
 	}
-	var jour *journal.Journal
-	if opts.JournalPath != "" {
-		var err error
-		jour, err = journal.Create(opts.JournalPath)
-		if err != nil {
-			return nil, BatchMetrics{}, fmt.Errorf("aigre: %w", err)
-		}
-		defer jour.Close()
-	}
-	pol := opts.Policy.internal()
-	sjobs := make([]sched.Job, len(jobs))
-	preports := make([]*PartitionReport, len(jobs))
+	// Validate the whole batch before admitting anything, so a malformed job
+	// fails the call without running its siblings.
 	for i, b := range jobs {
 		if b.AIG == nil {
 			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s) has no network", i, b.Name)
 		}
-		if _, err := flow.Parse(b.Script); err != nil {
+		if err := b.check(); err != nil {
 			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s): %w", i, b.Name, err)
 		}
-		o := b.Options
-		if o.RwzPasses == 0 && b.Script == flow.Resyn2 {
-			o.RwzPasses = 2 // match Resyn2's paper default
-		}
-		if opts.SharedCache != nil {
-			o.Cache = opts.SharedCache
-		}
-		sjobs[i] = sched.Job{
-			Name:       b.Name,
-			AIG:        b.AIG.aig,
-			Script:     b.Script,
-			Priority:   b.Priority,
-			Workers:    b.Workers,
-			Config:     o.flowConfig(),
-			FaultPlans: o.FaultPlans,
-		}
-		if o.Partition.Mode != PartitionOff {
-			// A partitioned job fans its partitions onto the batch's shared
-			// pool via the engine's custom-runner hook, so the whole fleet
-			// still respects one worker budget.
-			mode, err := o.Partition.Mode.internal()
-			if err != nil {
-				return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s): %w", i, b.Name, err)
-			}
-			i, in, script, popts := i, b.AIG.aig, b.Script, o.partitionOptions(mode)
-			popts.Workers = b.Workers
-			popts.Journal = jour
-			if pol.Retries > 0 {
-				// One budget shared between the job's outer attempts and its
-				// per-partition jobs: however the faults land, the job's total
-				// retry allowance stays bounded at Policy.Retries.
-				budget := sched.NewRetryBudget(pol.Retries)
-				jobPol := pol
-				jobPol.Budget = budget
-				sjobs[i].Policy = &jobPol
-				popts.Supervise = sched.Policy{
-					Retries:    pol.Retries,
-					Budget:     budget,
-					Backoff:    pol.Backoff,
-					MaxBackoff: pol.MaxBackoff,
-					Seed:       pol.Seed + int64(i),
-				}
-			}
-			sjobs[i].Custom = func(ctx context.Context, pool *sched.Pool) (flow.Result, error) {
-				popts.Pool = pool
-				pres, err := partition.Run(ctx, in, script, popts)
-				preports[i] = partitionReportOf(&pres)
-				return flow.Result{
-					AIG:          pres.AIG,
-					TotalWall:    pres.Wall,
-					TotalModeled: pres.Modeled,
-					Incidents:    pres.Incidents,
-					CacheStats:   pres.CacheStats,
-				}, err
-			}
-		}
 	}
-	var sharedBefore CacheStats
-	if opts.SharedCache != nil {
-		sharedBefore = opts.SharedCache.Stats()
+	e, err := NewEngine(ctx, opts)
+	if err != nil {
+		return nil, BatchMetrics{}, err
 	}
-	pool := sched.NewPool(opts.Workers)
-	defer pool.Close()
-	results, m := sched.RunSupervised(ctx, pool, sjobs, sched.Options{
-		MaxConcurrentJobs: opts.MaxConcurrentJobs,
-		Policy:            pol,
-		Journal:           jour,
-	})
-	out := make([]BatchResult, len(results))
-	for i, r := range results {
-		br := BatchResult{
-			Name: r.Name, Script: r.Script,
-			Err: r.Err, Cancelled: r.Cancelled,
-			TimedOut: r.TimedOut, Quarantined: r.Quarantined,
-			Attempts: r.Attempts, Preemptions: r.Preemptions,
-			Queued: r.Queued, Wall: r.Wall, Modeled: r.Modeled,
-			NodesBefore: r.NodesBefore, LevelsBefore: r.LevelsBefore,
-			NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
-			Timings: r.Timings, Incidents: r.Incidents,
-			CacheStats: cacheStatsOf(r.CacheStats),
-			Partition:  preports[i],
+	defer e.Close()
+	tickets := make([]*JobTicket, len(jobs))
+	for i, b := range jobs {
+		t, err := e.Submit(ctx, b)
+		if err != nil {
+			return nil, BatchMetrics{}, fmt.Errorf("aigre: batch job %d (%s): %w", i, b.Name, err)
 		}
-		if r.AIG != nil {
-			br.AIG = &Network{aig: r.AIG}
-		}
-		out[i] = br
+		tickets[i] = t
 	}
-	bm := BatchMetrics{
-		Workers:        m.Workers,
-		Finished:       m.Finished,
-		Failed:         m.Failed,
-		Cancelled:      m.Cancelled,
-		TimedOut:       m.TimedOut,
-		Quarantined:    m.Quarantined,
-		Retries:        m.Retries,
-		PeakWorkers:    m.PeakWorkers,
-		PeakQueueDepth: m.PeakQueueDepth,
-		Wall:           m.Wall,
-		JobWall:        m.JobWall,
-		Modeled:        m.Modeled,
-		Utilization:    m.Utilization(),
+	out := make([]BatchResult, len(jobs))
+	for i, t := range tickets {
+		out[i] = t.Wait()
 	}
-	if opts.SharedCache != nil {
-		after := opts.SharedCache.Stats()
-		bm.CacheStats = CacheStats{
-			Hits:      after.Hits - sharedBefore.Hits,
-			Misses:    after.Misses - sharedBefore.Misses,
-			Evictions: after.Evictions - sharedBefore.Evictions,
-			NpnHits:   after.NpnHits - sharedBefore.NpnHits,
-			NpnMisses: after.NpnMisses - sharedBefore.NpnMisses,
-			Entries:   after.Entries,
-		}
-	}
-	return out, bm, nil
+	return out, e.Metrics(), nil
 }

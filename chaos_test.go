@@ -143,7 +143,7 @@ func TestChaosBatchSupervision(t *testing.T) {
 	// The journal must replay the full history now that RunBatch has closed
 	// it: a start and a terminal event for every job, preemptions and the
 	// quarantine for the stuck job, and strictly increasing sequence numbers.
-	entries, err := journal.Replay(jpath)
+	entries, _, err := journal.Replay(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,11 @@
 //	3  degraded: all jobs completed, but contained incidents were recorded
 //	4  job casualty: at least one batch job failed, timed out, was
 //	   cancelled, or was quarantined by the supervisor
+//
+// Signals: the first SIGINT/SIGTERM cancels the run gracefully — in-flight
+// work stops at the next kernel-launch boundary, batch jobs report
+// Cancelled, and the usual exit-code taxonomy applies. A second signal
+// exits immediately with code 1.
 package main
 
 import (
@@ -27,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"aigre"
@@ -85,12 +92,26 @@ func main() {
 		os.Exit(2)
 	}
 	popts := aigre.PartitionOptions{Mode: pmode, TargetSize: *partSize, MaxConflictRounds: *partRnds}
-	ctx := context.Background()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *timeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// First SIGINT/SIGTERM cancels the run gracefully: in-flight work stops
+	// at the next kernel-launch boundary and partial results are reported
+	// (batch jobs come back Cancelled). A second signal exits immediately
+	// with code 1.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "aigre: %s: cancelling (signal again to exit immediately)\n", s)
+		cancel()
+		s = <-sigs
+		fmt.Fprintf(os.Stderr, "aigre: %s: immediate exit\n", s)
+		os.Exit(1)
+	}()
 	if *retries < 0 {
 		fmt.Fprintf(os.Stderr, "aigre: -retries must be >= 0 (got %d)\n", *retries)
 		os.Exit(2)

@@ -1,0 +1,592 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aigre"
+	"aigre/internal/flow"
+	"aigre/internal/gpu"
+	"aigre/internal/queue"
+	"aigre/internal/rcache"
+)
+
+// maxBody bounds a submission body (the AIGER payload dominates).
+const maxBody = 64 << 20
+
+type serverConfig struct {
+	queuePath string
+	maxDepth  int
+	maxJobs   int
+	rate      float64
+	burst     int
+	parallel  bool
+	verbose   bool
+	batch     aigre.BatchOptions
+}
+
+// server wires the durable queue to the batch engine: an HTTP front end
+// admits jobs into the queue, the pump leases them into the engine one
+// in-flight slot at a time, and runners resolve each lease to a durable
+// terminal record. The engine's own admission queue stays empty by
+// construction — everything waiting lives in the durable queue, where a
+// drain or crash can checkpoint it.
+type server struct {
+	cfg  serverConfig
+	q    *queue.Queue
+	eng  *aigre.Engine
+	lim  *limiter
+	http *http.Server
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	leases   int // leases this incarnation (crash-hook bookkeeping)
+
+	slots    chan struct{} // in-flight capacity
+	wake     chan struct{} // new work / freed slot
+	inflight sync.WaitGroup
+
+	casualties atomic.Int64 // failed + quarantined this incarnation
+	degraded   atomic.Int64 // done, but with contained incidents
+}
+
+func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
+	q, err := queue.Open(cfg.queuePath, queue.Options{MaxDepth: cfg.maxDepth})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := aigre.NewEngine(ctx, cfg.batch)
+	if err != nil {
+		q.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s := &server{
+		cfg:    cfg,
+		q:      q,
+		eng:    eng,
+		lim:    newLimiter(cfg.rate, cfg.burst),
+		ctx:    ctx,
+		cancel: cancel,
+		slots:  make(chan struct{}, cfg.maxJobs),
+		wake:   make(chan struct{}, 1),
+	}
+	go s.pump()
+	return s, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *server) serveHTTP(ln net.Listener) error {
+	s.http = &http.Server{Handler: s.mux()}
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// pump is the dispatcher: one loop that acquires an in-flight slot, leases
+// the next pending job, and hands it to a runner. It stops at drain or
+// shutdown; slots free as runners finish.
+func (s *server) pump() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case s.slots <- struct{}{}:
+		}
+		if !s.leaseOne() {
+			<-s.slots
+			return
+		}
+	}
+}
+
+// leaseOne blocks until a job is leased and its runner launched (true), or
+// the daemon starts draining or shuts down (false). The draining check,
+// the durable lease, and the in-flight registration happen under one lock,
+// so drain's inflight.Wait can never miss a runner that was just launched.
+func (s *server) leaseOne() bool {
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return false
+		}
+		spec, err := s.q.Lease()
+		if spec != nil {
+			s.leases++
+			if n := crashAfterLeases(); n > 0 && s.leases >= n {
+				// Simulated crash for the recovery tests: the lease is on
+				// disk, the job never runs, no checkpoint is written.
+				os.Exit(2)
+			}
+			s.inflight.Add(1)
+			s.mu.Unlock()
+			if s.cfg.verbose {
+				fmt.Fprintf(os.Stderr, "aigred: job %s: leased (%s)\n", spec.ID, spec.Script)
+			}
+			go s.runJob(spec)
+			return true
+		}
+		s.mu.Unlock()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigred: lease:", err)
+		}
+		select {
+		case <-s.ctx.Done():
+			return false
+		case <-s.wake:
+		}
+	}
+}
+
+// runJob executes one leased job through the engine and durably resolves the
+// lease: success and permanent failures become terminal records carrying the
+// queryable session; a forced-drain cancellation checkpoints the job back to
+// pending for the next incarnation.
+func (s *server) runJob(spec *queue.Spec) {
+	defer func() {
+		s.inflight.Done()
+		<-s.slots
+		s.wakeUp()
+	}()
+	b, err := specBatch(spec, s.cfg)
+	if err != nil {
+		// The spec was validated at submission, so this is a payload rotted
+		// on disk — a permanent failure, not a retry.
+		s.resolve(spec.ID, queue.Failed, fmt.Sprintf("unrunnable spec: %v", err), nil)
+		return
+	}
+	tk, err := s.eng.Submit(s.ctx, b)
+	if err != nil {
+		// Engine already closed under us (forced drain): checkpoint.
+		s.requeue(spec.ID, "drain: engine closed before the job started")
+		return
+	}
+	r := tk.Wait()
+	sess := sessionOf(r)
+	switch {
+	case r.Quarantined:
+		s.casualties.Add(1)
+		s.resolve(spec.ID, queue.Quarantined, errText(r.Err), sess)
+	case r.Cancelled:
+		s.requeue(spec.ID, "drain: cancelled in flight; checkpointed back to pending")
+	case r.Err != nil:
+		s.casualties.Add(1)
+		detail := errText(r.Err)
+		if r.TimedOut {
+			detail = "deadline: " + detail
+		}
+		s.resolve(spec.ID, queue.Failed, detail, sess)
+	default:
+		if len(r.Incidents) > 0 {
+			s.degraded.Add(1)
+		}
+		s.resolve(spec.ID, queue.Done, "", sess)
+	}
+}
+
+func (s *server) resolve(id string, st queue.State, detail string, sess *queue.Session) {
+	if err := s.q.Resolve(id, st, detail, sess); err != nil {
+		fmt.Fprintln(os.Stderr, "aigred:", err)
+		return
+	}
+	if s.cfg.verbose {
+		fmt.Fprintf(os.Stderr, "aigred: job %s: %s %s\n", id, st, detail)
+	}
+}
+
+func (s *server) requeue(id, detail string) {
+	if err := s.q.Requeue(id, detail); err != nil {
+		fmt.Fprintln(os.Stderr, "aigred:", err)
+		return
+	}
+	if s.cfg.verbose {
+		fmt.Fprintf(os.Stderr, "aigred: job %s: requeued: %s\n", id, detail)
+	}
+}
+
+func (s *server) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// drain is the graceful shutdown: stop leasing, 503 new submissions, let
+// in-flight jobs finish until the deadline, then force-cancel the stragglers
+// — which checkpoints them back to pending — and report the exit code.
+func (s *server) drain(timeout time.Duration) int {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wakeUp() // unblock the pump so it observes the drain
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	forced := false
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Cancel the engine-wide context: in-flight jobs stop at the next
+		// kernel-launch boundary, come back Cancelled, and their runners
+		// requeue them durably.
+		forced = true
+		fmt.Fprintln(os.Stderr, "aigred: drain deadline exceeded; checkpointing in-flight jobs")
+		s.cancel()
+		<-done
+	}
+	if s.http != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.http.Shutdown(sctx)
+		scancel()
+	}
+	st := s.q.Stats()
+	fmt.Fprintf(os.Stderr, "aigred: drained (forced=%v): %d done, %d failed, %d quarantined, %d pending checkpointed\n",
+		forced, st.Done, st.Failed, st.Quarantined, st.Pending)
+	switch {
+	case s.casualties.Load() > 0:
+		return 4
+	case s.degraded.Load() > 0:
+		return 3
+	}
+	return 0
+}
+
+func (s *server) close() {
+	s.cancel()
+	s.eng.Close()
+	if err := s.q.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "aigred:", err)
+	}
+}
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Name     string `json:"name,omitempty"`
+	Script   string `json:"script"`
+	Priority int    `json:"priority,omitempty"`
+	// Parallel overrides the daemon's -parallel default when present.
+	Parallel *bool    `json:"parallel,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	Client   string   `json:"client,omitempty"`
+	Inject   []string `json:"inject,omitempty"`
+	// AIGER is the input network, base64-encoded (encoding/json's []byte).
+	AIGER []byte `json:"aiger"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, "draining: not accepting new jobs", http.StatusServiceUnavailable)
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	client := req.Client
+	if client == "" {
+		client, _, _ = strings.Cut(r.RemoteAddr, ":")
+	}
+	if wait, ok := s.lim.allow(client, time.Now()); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(wait))
+		http.Error(w, "rate limit exceeded for client "+client, http.StatusTooManyRequests)
+		return
+	}
+	spec, err := validateSubmit(&req, s.cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec.Client = client
+	if err := s.q.Submit(*spec); err != nil {
+		if errors.Is(err, queue.ErrSaturated) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The submission record is on disk: the job now survives any crash.
+	s.wakeUp()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": spec.ID, "state": string(queue.Pending)})
+}
+
+// validateSubmit rejects malformed submissions before anything is admitted:
+// the script must parse, the AIGER payload must decode, and every inject
+// spec must be well-formed.
+func validateSubmit(req *submitRequest, cfg serverConfig) (*queue.Spec, error) {
+	if req.Script == "" {
+		return nil, errors.New("missing script")
+	}
+	if _, err := flow.Parse(req.Script); err != nil {
+		return nil, err
+	}
+	if len(req.AIGER) == 0 {
+		return nil, errors.New("missing aiger payload")
+	}
+	if _, err := aigre.Read(bytes.NewReader(req.AIGER)); err != nil {
+		return nil, fmt.Errorf("bad aiger payload: %w", err)
+	}
+	for _, inj := range req.Inject {
+		if _, err := parseInject(inj); err != nil {
+			return nil, err
+		}
+	}
+	parallel := cfg.parallel
+	if req.Parallel != nil {
+		parallel = *req.Parallel
+	}
+	id := queue.NewID()
+	spec := &queue.Spec{
+		ID:       id,
+		Name:     req.Name,
+		Script:   req.Script,
+		Priority: req.Priority,
+		Parallel: parallel,
+		Workers:  req.Workers,
+		Inject:   req.Inject,
+		AIGER:    req.AIGER,
+	}
+	if spec.Name == "" {
+		spec.Name = id
+	}
+	return spec, nil
+}
+
+// specBatch rebuilds the engine job from a durable spec.
+func specBatch(spec *queue.Spec, cfg serverConfig) (aigre.Batch, error) {
+	n, err := aigre.Read(bytes.NewReader(spec.AIGER))
+	if err != nil {
+		return aigre.Batch{}, err
+	}
+	opts := aigre.Options{Parallel: spec.Parallel}
+	for _, inj := range spec.Inject {
+		plan, err := parseInject(inj)
+		if err != nil {
+			return aigre.Batch{}, err
+		}
+		opts.FaultPlans = append(opts.FaultPlans, plan)
+	}
+	return aigre.Batch{
+		Name:     spec.Name,
+		AIG:      n,
+		Script:   spec.Script,
+		Priority: spec.Priority,
+		Workers:  spec.Workers,
+		Options:  opts,
+	}, nil
+}
+
+// sessionOf converts an engine result to the queryable session record
+// persisted with the job's terminal state.
+func sessionOf(r aigre.BatchResult) *queue.Session {
+	return &queue.Session{
+		Attempts:     r.Attempts,
+		Preemptions:  r.Preemptions,
+		NodesBefore:  r.NodesBefore,
+		LevelsBefore: r.LevelsBefore,
+		NodesAfter:   r.NodesAfter,
+		LevelsAfter:  r.LevelsAfter,
+		QueuedNS:     r.Queued,
+		WallNS:       r.Wall,
+		ModeledNS:    r.Modeled,
+		Incidents:    r.Incidents,
+		Profile:      r.Profile,
+		Cache: rcache.Stats{
+			Hits: r.CacheStats.Hits, Misses: r.CacheStats.Misses,
+			Evictions: r.CacheStats.Evictions, NpnHits: r.CacheStats.NpnHits,
+			NpnMisses: r.CacheStats.NpnMisses, Entries: r.CacheStats.Entries,
+		},
+	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// jobView is the JSON shape of GET /jobs responses: the queue job without
+// its AIGER payload (which can be megabytes and is never needed back).
+type jobView struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name"`
+	Script    string         `json:"script"`
+	State     queue.State    `json:"state"`
+	Detail    string         `json:"detail,omitempty"`
+	Priority  int            `json:"priority,omitempty"`
+	Parallel  bool           `json:"parallel,omitempty"`
+	Client    string         `json:"client,omitempty"`
+	Leases    int            `json:"leases"`
+	Submitted time.Time      `json:"submitted"`
+	Updated   time.Time      `json:"updated"`
+	Session   *queue.Session `json:"session,omitempty"`
+}
+
+func viewOf(j queue.Job) jobView {
+	return jobView{
+		ID:        j.Spec.ID,
+		Name:      j.Spec.Name,
+		Script:    j.Spec.Script,
+		State:     j.State,
+		Detail:    j.Detail,
+		Priority:  j.Spec.Priority,
+		Parallel:  j.Spec.Parallel,
+		Client:    j.Spec.Client,
+		Leases:    j.Leases,
+		Submitted: j.Spec.Submitted,
+		Updated:   j.Updated,
+		Session:   j.Session,
+	}
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.q.Jobs()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j)
+	}
+	writeJSON(w, views)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.q.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, viewOf(j))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"queue":    s.q.Stats(),
+		"engine":   s.eng.Metrics(),
+		"draining": s.isDraining(),
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "draining": s.isDraining()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// limiter is a per-client token bucket: rate tokens/second up to burst.
+// A zero rate admits everything.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty it
+// returns false and the whole seconds to wait for the next token.
+func (l *limiter) allow(client string, now time.Time) (retryAfter int, ok bool) {
+	if l.rate <= 0 {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	b.last = now
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := (1 - b.tokens) / l.rate
+	return int(wait) + 1, false
+}
+
+// parseInject parses the "kernel-pattern:N:kind" fault spec — the same
+// syntax as cmd/aigre's -inject flag.
+func parseInject(s string) (gpu.FaultPlan, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return gpu.FaultPlan{}, fmt.Errorf("bad inject %q, want \"kernel-pattern:N:panic|corrupt|stall\"", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return gpu.FaultPlan{}, fmt.Errorf("bad inject launch ordinal %q (want >= 1)", parts[1])
+	}
+	var kind gpu.FaultKind
+	switch parts[2] {
+	case "panic":
+		kind = gpu.FaultPanic
+	case "corrupt":
+		kind = gpu.FaultCorrupt
+	case "stall":
+		kind = gpu.FaultStall
+	default:
+		return gpu.FaultPlan{}, fmt.Errorf("bad inject kind %q (want panic, corrupt, or stall)", parts[2])
+	}
+	return gpu.FaultPlan{Kernel: parts[0], Nth: n, Kind: kind}, nil
+}

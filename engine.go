@@ -1,0 +1,256 @@
+package aigre
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"aigre/internal/flow"
+	"aigre/internal/journal"
+	"aigre/internal/partition"
+	"aigre/internal/sched"
+)
+
+// Engine is the serve-mode counterpart of RunBatch: a long-lived fleet that
+// accepts jobs one at a time instead of as a fixed slice. Jobs share one
+// bounded worker budget, one supervision policy, and (optionally) one
+// resynthesis cache and journal, exactly as a batch would. RunBatch itself
+// runs on an Engine; daemons such as cmd/aigred keep one open across many
+// submissions.
+type Engine struct {
+	opts BatchOptions
+	pool *sched.Pool
+	eng  *sched.Engine
+	jour *journal.Journal
+
+	mu           sync.Mutex
+	n            int // submissions, offsets per-job retry-jitter seeds
+	sharedBefore CacheStats
+}
+
+// JobTicket is the handle Engine.Submit returns; Wait blocks for the job's
+// BatchResult.
+type JobTicket struct {
+	st *sched.Ticket
+	// partition is written by the job's partition runner before the ticket
+	// resolves (nil for unpartitioned jobs).
+	partition *PartitionReport
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (t *JobTicket) Wait() BatchResult {
+	r := t.st.Wait()
+	return batchResultOf(r, t.partition)
+}
+
+// Done is closed when the job has finished.
+func (t *JobTicket) Done() <-chan struct{} { return t.st.Done() }
+
+// NewEngine starts a serve-mode engine configured like a RunBatch call.
+// ctx, when non-nil, cancels every job (queued and running) engine-wide when
+// it is done. The engine holds opts.Workers pool workers until Close.
+func NewEngine(ctx context.Context, opts BatchOptions) (*Engine, error) {
+	var jour *journal.Journal
+	if opts.JournalPath != "" {
+		var err error
+		jour, err = journal.Create(opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("aigre: %w", err)
+		}
+	}
+	e := &Engine{opts: opts, jour: jour}
+	if opts.SharedCache != nil {
+		e.sharedBefore = opts.SharedCache.Stats()
+	}
+	e.pool = sched.NewPool(opts.Workers)
+	e.eng = sched.NewEngine(ctx, e.pool, sched.Options{
+		MaxConcurrentJobs: opts.MaxConcurrentJobs,
+		Policy:            opts.Policy.internal(),
+		Journal:           jour,
+	})
+	return e, nil
+}
+
+// check validates a job the way RunBatch's up-front pass does, returning the
+// bare defect so callers can prefix their own context.
+func (b Batch) check() error {
+	if b.AIG == nil {
+		return fmt.Errorf("has no network")
+	}
+	if _, err := flow.Parse(b.Script); err != nil {
+		return err
+	}
+	if b.Options.Partition.Mode != PartitionOff {
+		if _, err := b.Options.Partition.Mode.internal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit admits one job to the engine. ctx, when non-nil, cancels this job
+// alone. The call validates the job (nil network, unparsable script,
+// unknown partition mode) before admitting it; after Shutdown or Close it
+// returns sched.ErrClosed.
+func (e *Engine) Submit(ctx context.Context, b Batch) (*JobTicket, error) {
+	if err := b.check(); err != nil {
+		return nil, fmt.Errorf("aigre: job %q: %w", b.Name, err)
+	}
+	e.mu.Lock()
+	seq := e.n
+	e.n++
+	e.mu.Unlock()
+	t := &JobTicket{}
+	sj := e.convert(b, int64(seq), &t.partition)
+	st, err := e.eng.Submit(ctx, sj)
+	if err != nil {
+		return nil, err
+	}
+	t.st = st
+	return t, nil
+}
+
+// Shutdown is the graceful drain: it stops admission, withdraws jobs still
+// waiting in the queue without running them — their tickets resolve
+// Cancelled with sched.ErrDrained, so a durable queue can checkpoint them —
+// and waits until ctx is done for the in-flight jobs to finish. It returns
+// how many queued jobs were dropped and whether every in-flight job beat the
+// deadline; on ok == false cancel the engine-wide context and Close to reap
+// the stragglers.
+func (e *Engine) Shutdown(ctx context.Context) (dropped int, ok bool) {
+	return e.eng.Shutdown(ctx)
+}
+
+// Close stops admission, runs the remaining queue to completion, waits for
+// every job, and releases the pool and journal. Use Shutdown first for a
+// drain that does not run the backlog.
+func (e *Engine) Close() {
+	e.eng.Close()
+	e.pool.Close()
+	e.jour.Close()
+}
+
+// Metrics snapshots the fleet statistics accumulated since NewEngine,
+// including the shared-cache traffic delta when BatchOptions.SharedCache
+// was set.
+func (e *Engine) Metrics() BatchMetrics {
+	m := e.eng.Metrics()
+	bm := BatchMetrics{
+		Workers:        m.Workers,
+		Finished:       m.Finished,
+		Failed:         m.Failed,
+		Cancelled:      m.Cancelled,
+		TimedOut:       m.TimedOut,
+		Quarantined:    m.Quarantined,
+		Retries:        m.Retries,
+		PeakWorkers:    m.PeakWorkers,
+		PeakQueueDepth: m.PeakQueueDepth,
+		Wall:           m.Wall,
+		JobWall:        m.JobWall,
+		Modeled:        m.Modeled,
+		Utilization:    m.Utilization(),
+	}
+	if e.opts.SharedCache != nil {
+		after := e.opts.SharedCache.Stats()
+		bm.CacheStats = CacheStats{
+			Hits:      after.Hits - e.sharedBefore.Hits,
+			Misses:    after.Misses - e.sharedBefore.Misses,
+			Evictions: after.Evictions - e.sharedBefore.Evictions,
+			NpnHits:   after.NpnHits - e.sharedBefore.NpnHits,
+			NpnMisses: after.NpnMisses - e.sharedBefore.NpnMisses,
+			Entries:   after.Entries,
+		}
+	}
+	return bm
+}
+
+// convert builds the sched job for b: engine options merged with the batch's
+// shared cache, and — for partitioned jobs — a custom runner that fans the
+// partitions onto the engine's shared pool under a retry budget shared with
+// the job's own supervised attempts. seq offsets the retry-jitter seed;
+// *prp receives the partition report before the job's ticket resolves.
+// The caller has already validated b, so the partition mode parses.
+func (e *Engine) convert(b Batch, seq int64, prp **PartitionReport) sched.Job {
+	o := b.Options
+	if o.RwzPasses == 0 && b.Script == flow.Resyn2 {
+		o.RwzPasses = 2 // match Resyn2's paper default
+	}
+	if e.opts.SharedCache != nil {
+		o.Cache = e.opts.SharedCache
+	}
+	sj := sched.Job{
+		Name:       b.Name,
+		AIG:        b.AIG.aig,
+		Script:     b.Script,
+		Priority:   b.Priority,
+		Workers:    b.Workers,
+		Config:     o.flowConfig(),
+		FaultPlans: o.FaultPlans,
+	}
+	if o.Partition.Mode == PartitionOff {
+		return sj
+	}
+	// A partitioned job fans its partitions onto the engine's shared pool
+	// via the custom-runner hook, so the whole fleet still respects one
+	// worker budget.
+	mode, _ := o.Partition.Mode.internal()
+	pol := e.opts.Policy.internal()
+	in, script, popts := b.AIG.aig, b.Script, o.partitionOptions(mode)
+	popts.Workers = b.Workers
+	popts.Journal = e.jour
+	if pol.Retries > 0 {
+		// One budget shared between the job's outer attempts and its
+		// per-partition jobs: however the faults land, the job's total
+		// retry allowance stays bounded at Policy.Retries.
+		budget := sched.NewRetryBudget(pol.Retries)
+		jobPol := pol
+		jobPol.Budget = budget
+		sj.Policy = &jobPol
+		popts.Supervise = sched.Policy{
+			Retries:    pol.Retries,
+			Budget:     budget,
+			Backoff:    pol.Backoff,
+			MaxBackoff: pol.MaxBackoff,
+			Seed:       pol.Seed + seq,
+		}
+	}
+	sj.Custom = func(ctx context.Context, pool *sched.Pool) (flow.Result, error) {
+		popts.Pool = pool
+		pres, err := partition.Run(ctx, in, script, popts)
+		*prp = partitionReportOf(&pres)
+		return flow.Result{
+			AIG:          pres.AIG,
+			TotalWall:    pres.Wall,
+			TotalModeled: pres.Modeled,
+			Incidents:    pres.Incidents,
+			CacheStats:   pres.CacheStats,
+		}, err
+	}
+	return sj
+}
+
+// batchResultOf converts a sched result (plus the job's partition report,
+// if any) to the public shape.
+func batchResultOf(r sched.Result, pr *PartitionReport) BatchResult {
+	br := BatchResult{
+		Name: r.Name, Script: r.Script,
+		Err: r.Err, Cancelled: r.Cancelled,
+		TimedOut: r.TimedOut, Quarantined: r.Quarantined,
+		Attempts: r.Attempts, Preemptions: r.Preemptions,
+		Queued: r.Queued, Wall: r.Wall, Modeled: r.Modeled,
+		NodesBefore: r.NodesBefore, LevelsBefore: r.LevelsBefore,
+		NodesAfter: r.NodesAfter, LevelsAfter: r.LevelsAfter,
+		Timings: r.Timings, Incidents: r.Incidents,
+		Profile:    r.Profile,
+		CacheStats: cacheStatsOf(r.CacheStats),
+		Partition:  pr,
+	}
+	if r.AIG != nil {
+		br.AIG = &Network{aig: r.AIG}
+	}
+	return br
+}
+
+// Queued reports the current admission-queue depth (jobs submitted but not
+// yet started).
+func (e *Engine) Queued() int { return e.eng.Metrics().QueueDepth }

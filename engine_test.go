@@ -1,0 +1,137 @@
+package aigre_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aigre"
+	"aigre/internal/bench"
+	"aigre/internal/sched"
+)
+
+// TestEngineSubmitMatchesRunBatch checks the serve-mode path: jobs submitted
+// one at a time to an open Engine produce the same networks as the same jobs
+// run through RunBatch.
+func TestEngineSubmitMatchesRunBatch(t *testing.T) {
+	nets := []*aigre.Network{
+		aigre.FromInternal(bench.Multiplier(6)),
+		aigre.FromInternal(bench.Voter(4)),
+		aigre.FromInternal(bench.Adder(12)),
+	}
+	opts := aigre.Options{Parallel: true}
+	jobs := make([]aigre.Batch, len(nets))
+	for i, n := range nets {
+		jobs[i] = aigre.Batch{AIG: n, Script: aigre.ScriptRfResyn, Options: opts}
+	}
+	want, _, err := aigre.RunBatch(context.Background(), jobs, aigre.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := aigre.NewEngine(context.Background(), aigre.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tickets := make([]*aigre.JobTicket, len(jobs))
+	for i, b := range jobs {
+		tk, err := e.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		r := tk.Wait()
+		if r.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, r.Name, r.Err)
+		}
+		if got, w := r.AIG.Stats().Nodes, want[i].AIG.Stats().Nodes; got != w {
+			t.Errorf("job %d (%s): %d nodes via Engine, %d via RunBatch", i, r.Name, got, w)
+		}
+		if r.NodesBefore != want[i].NodesBefore || r.NodesAfter != want[i].NodesAfter {
+			t.Errorf("job %d: bookkeeping %d->%d vs %d->%d", i,
+				r.NodesBefore, r.NodesAfter, want[i].NodesBefore, want[i].NodesAfter)
+		}
+	}
+	m := e.Metrics()
+	if m.Finished != len(jobs) || m.Failed != 0 {
+		t.Errorf("metrics %+v, want %d finished", m, len(jobs))
+	}
+}
+
+// TestEngineSubmitValidates checks that malformed jobs are rejected at
+// submission, before anything runs.
+func TestEngineSubmitValidates(t *testing.T) {
+	e, err := aigre.NewEngine(context.Background(), aigre.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Submit(context.Background(), aigre.Batch{Name: "n", Script: "b"}); err == nil {
+		t.Error("nil network accepted")
+	}
+	n := aigre.FromInternal(bench.Adder(8))
+	if _, err := e.Submit(context.Background(), aigre.Batch{AIG: n, Script: "b; zz"}); err == nil {
+		t.Error("unparsable script accepted")
+	}
+	if _, err := e.Submit(context.Background(), aigre.Batch{AIG: n, Script: "b",
+		Options: aigre.Options{Partition: aigre.PartitionOptions{Mode: aigre.PartitionMode(99)}}}); err == nil {
+		t.Error("unknown partition mode accepted")
+	}
+	if m := e.Metrics(); m.Finished+m.Failed+m.Cancelled != 0 {
+		t.Errorf("rejected submissions ran something: %+v", m)
+	}
+}
+
+// TestEngineShutdownDrains checks the public drain contract: queued jobs
+// resolve with sched.ErrDrained and are never run, and Submit afterwards
+// fails with sched.ErrClosed.
+func TestEngineShutdownDrains(t *testing.T) {
+	e, err := aigre.NewEngine(context.Background(), aigre.BatchOptions{
+		Workers: 1, MaxConcurrentJobs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// A moderately-sized resyn2 keeps the single job slot busy long enough
+	// for the queued job to still be waiting when Shutdown fires.
+	busy := aigre.Batch{Name: "busy", AIG: aigre.FromInternal(bench.Multiplier(8)),
+		Script: aigre.ScriptResyn2, Options: aigre.Options{Parallel: true}}
+	queued := aigre.Batch{Name: "waiting", AIG: aigre.FromInternal(bench.Adder(8)), Script: "b"}
+	bt, err := e.Submit(context.Background(), busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := e.Submit(context.Background(), queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the busy job to leave the queue (start running) so exactly
+	// one job is still waiting when the drain fires.
+	for deadline := time.Now().Add(10 * time.Second); e.Queued() > 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("busy job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dropped, ok := e.Shutdown(ctx)
+	if dropped != 1 || !ok {
+		t.Fatalf("Shutdown = (%d, %v), want (1, true)", dropped, ok)
+	}
+	if r := bt.Wait(); r.Err != nil {
+		t.Fatalf("in-flight job: %v", r.Err)
+	}
+	r := qt.Wait()
+	if !errors.Is(r.Err, sched.ErrDrained) || !r.Cancelled {
+		t.Fatalf("queued job: err=%v cancelled=%v, want ErrDrained", r.Err, r.Cancelled)
+	}
+	if _, err := e.Submit(context.Background(), queued); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("Submit after Shutdown: %v, want ErrClosed", err)
+	}
+}

@@ -1,16 +1,22 @@
-// Package journal provides a durable append-only JSONL incident journal for
-// supervised job fleets.
+// Package journal provides a durable append-only JSONL journal for
+// supervised job fleets and the daemon's write-ahead queue.
 //
-// Every supervision event — an attempt starting, a contained flow.Incident, a
-// retry with its backoff, a watchdog preemption, a deadline timeout, a
-// quarantine, and the final outcome — is appended as one JSON line, flushed
-// before Append returns. The file therefore survives the process: a crashed
-// or killed run leaves a replayable prefix, and Replay tolerates a torn final
-// line (a crash mid-write) by ignoring the truncated tail.
+// Two layers live here. The generic layer appends arbitrary record types as
+// JSON lines (AppendRecord) and reads them back (ReadRecords), tolerating the
+// footprints of a crashed process: a torn final line (killed mid-append) and
+// torn mid-file records (partially persisted pages followed by later
+// successful appends) are skipped with a count rather than failing the read.
+// With CreateSync (or AppendSync) every append is fsynced before it returns,
+// which is what lets the daemon acknowledge a submission only once it is
+// durable.
 //
-// The journal is the durability half of the supervisor: internal/sched
-// decides what happens to a job, the journal records that it happened. The
-// planned aigred daemon reads the same format as its job history.
+// The Entry layer on top is the supervision journal: every supervision
+// event — an attempt starting, a contained flow.Incident, a retry with its
+// backoff, a watchdog preemption, a deadline timeout, a quarantine, and the
+// final outcome — is appended as one Entry line. The journal is the
+// durability half of the supervisor: internal/sched decides what happens to
+// a job, the journal records that it happened. internal/queue builds the
+// aigred daemon's durable job queue on the generic layer.
 package journal
 
 import (
@@ -38,9 +44,9 @@ const (
 	EventCancel     = "cancel"     // the job was cancelled from outside (batch/engine shutdown)
 )
 
-// Entry is one journal line. Seq orders entries within a single journal even
-// when wall clocks of concurrent jobs collide; Time orders entries across
-// journals and survives into post-mortem tooling.
+// Entry is one supervision-journal line. Seq orders entries within a single
+// journal even when wall clocks of concurrent jobs collide; Time orders
+// entries across journals and survives into post-mortem tooling.
 type Entry struct {
 	Seq     int64         `json:"seq"`
 	Time    time.Time     `json:"time"`
@@ -60,19 +66,35 @@ type Entry struct {
 // a nil *Journal are both valid no-op journals, so call sites never need to
 // guard Append behind a nil check.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	f   *os.File // non-nil when the journal owns the file
-	seq int64
+	mu   sync.Mutex
+	w    io.Writer
+	f    *os.File // non-nil when the journal owns the file
+	sync bool     // fsync after every append
+	seq  int64
 }
 
-// Create opens (creating or appending to) a journal file at path.
+// Create opens (creating or appending to) a journal file at path. Appends
+// are flushed to the OS but not fsynced; use CreateSync for a write-ahead
+// journal whose appends must survive power loss before they are acknowledged.
 func Create(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	return &Journal{w: f, f: f}, nil
+}
+
+// CreateSync is Create with fsync-on-append: every Append and AppendRecord
+// returns only after the line is durably on disk. This is the write-ahead
+// mode: an acknowledgment given after a CreateSync append cannot be lost to
+// a crash.
+func CreateSync(path string) (*Journal, error) {
+	j, err := Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j.sync = true
+	return j, nil
 }
 
 // New wraps an arbitrary writer (a buffer in tests, a pipe in a daemon).
@@ -85,6 +107,18 @@ func New(w io.Writer) *Journal {
 // journal discards the entry. The line is written with a single Write call so
 // concurrent appenders through an os.File never interleave bytes.
 func (j *Journal) Append(e Entry) error {
+	return j.append(e, false)
+}
+
+// AppendSync is Append followed by an fsync of the journal file, regardless
+// of whether the journal was opened with CreateSync: the entry is durably on
+// disk when AppendSync returns. On a journal without an underlying file
+// (New) it is identical to Append.
+func (j *Journal) AppendSync(e Entry) error {
+	return j.append(e, true)
+}
+
+func (j *Journal) append(e Entry, sync bool) error {
 	if j == nil || j.w == nil {
 		return nil
 	}
@@ -95,13 +129,50 @@ func (j *Journal) Append(e Entry) error {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
-	line, err := json.Marshal(e)
+	return j.appendLocked(e, sync)
+}
+
+// AppendRecord writes an arbitrary record as one JSON line, with the same
+// atomicity and durability guarantees as Append. Unlike Append it stamps
+// nothing: the caller owns the record type and its sequencing. This is the
+// generic layer internal/queue builds its write-ahead log on.
+func (j *Journal) AppendRecord(v any) error {
+	if j == nil || j.w == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(v, false)
+}
+
+// appendLocked marshals v, writes it as one line, and honors the journal's
+// sync mode (or the per-call sync override). Callers hold j.mu.
+func (j *Journal) appendLocked(v any, sync bool) error {
+	line, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	line = append(line, '\n')
 	if _, err := j.w.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if (sync || j.sync) && j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the journal file now (a no-op without an underlying file).
+func (j *Journal) Sync() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	return nil
 }
@@ -119,41 +190,48 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// Read decodes journal lines from r. A truncated final line — the footprint
-// of a process killed mid-append — is ignored; any other malformed line is an
-// error, since it means the file is not a journal.
-func Read(r io.Reader) ([]Entry, error) {
+// ReadRecords decodes JSONL records of type T from r. Torn records — the
+// footprints of a crashed writer: a truncated final line, or a partially
+// persisted mid-file line followed by later appends — are skipped, and the
+// count of skipped lines is returned so callers can surface a warning.
+// Only an unreadable stream is an error.
+func ReadRecords[T any](r io.Reader) (recs []T, torn int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var entries []Entry
-	var pendingErr error
 	for sc.Scan() {
-		if pendingErr != nil {
-			// The malformed line was not the last one: corrupt journal.
-			return entries, pendingErr
-		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			pendingErr = fmt.Errorf("journal: malformed line: %w", err)
+		var rec T
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn record: skip to the next newline and keep going. A torn
+			// *tail* is a process killed mid-append; a torn *mid-file* line
+			// is a partial page writeback that later appends survived.
+			torn++
 			continue
 		}
-		entries = append(entries, e)
+		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return entries, fmt.Errorf("journal: %w", err)
+		return recs, torn, fmt.Errorf("journal: %w", err)
 	}
-	return entries, nil
+	return recs, torn, nil
 }
 
-// Replay reads a journal file back, tolerating a torn final line.
-func Replay(path string) ([]Entry, error) {
+// Read decodes supervision-journal lines from r, skipping torn records (both
+// a truncated final line and torn mid-file lines) and returning how many
+// were skipped.
+func Read(r io.Reader) ([]Entry, int, error) {
+	return ReadRecords[Entry](r)
+}
+
+// Replay reads a journal file back, tolerating torn records; the second
+// return is the number of torn (skipped) lines.
+func Replay(path string) ([]Entry, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, 0, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
 	return Read(f)

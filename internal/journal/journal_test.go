@@ -39,9 +39,12 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, err := Replay(path)
+	got, torn, err := Replay(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d on a clean journal", torn)
 	}
 	if len(got) != len(events) {
 		t.Fatalf("replayed %d entries, want %d", len(got), len(events))
@@ -73,6 +76,12 @@ func TestNilJournalIsNoOp(t *testing.T) {
 	if err := j.Append(Entry{Job: "x", Event: EventDone}); err != nil {
 		t.Fatalf("nil journal Append: %v", err)
 	}
+	if err := j.AppendSync(Entry{Job: "x", Event: EventDone}); err != nil {
+		t.Fatalf("nil journal AppendSync: %v", err)
+	}
+	if err := j.AppendRecord(struct{ X int }{1}); err != nil {
+		t.Fatalf("nil journal AppendRecord: %v", err)
+	}
 	if err := j.Close(); err != nil {
 		t.Fatalf("nil journal Close: %v", err)
 	}
@@ -83,7 +92,8 @@ func TestNilJournalIsNoOp(t *testing.T) {
 }
 
 // TestTruncatedTailTolerated checks that a torn final line — a process killed
-// mid-append — is ignored on replay while full lines before it survive.
+// mid-append — is skipped (and counted) on replay while full lines before it
+// survive.
 func TestTruncatedTailTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "torn.jsonl")
 	j, err := Create(path)
@@ -107,25 +117,114 @@ func TestTruncatedTailTolerated(t *testing.T) {
 	}
 	f.Close()
 
-	got, err := Replay(path)
+	got, torn, err := Replay(path)
 	if err != nil {
 		t.Fatalf("torn tail not tolerated: %v", err)
 	}
 	if len(got) != 3 {
 		t.Fatalf("replayed %d entries, want 3", len(got))
 	}
+	if torn != 1 {
+		t.Fatalf("torn = %d, want 1", torn)
+	}
 }
 
-// TestCorruptMiddleRejected checks that a malformed line followed by more
-// lines is reported as corruption, not silently skipped.
-func TestCorruptMiddleRejected(t *testing.T) {
+// TestCorruptMiddleSkippedWithCount checks that a torn mid-file record — a
+// partial page writeback that later successful appends survived — is skipped
+// with a count instead of failing the whole replay.
+func TestCorruptMiddleSkippedWithCount(t *testing.T) {
 	var b strings.Builder
 	b.WriteString(`{"seq":1,"time":"2026-01-01T00:00:00Z","job":"a","event":"attempt"}` + "\n")
-	b.WriteString("not json\n")
-	b.WriteString(`{"seq":3,"time":"2026-01-01T00:00:00Z","job":"a","event":"done"}` + "\n")
-	_, err := Read(strings.NewReader(b.String()))
-	if err == nil {
-		t.Fatal("mid-file corruption not reported")
+	b.WriteString(`{"seq":2,"time":"2026-01-01T00:00:0` + "\n") // torn mid-file
+	b.WriteString("not json at all\n")                          // torn mid-file
+	b.WriteString(`{"seq":4,"time":"2026-01-01T00:00:00Z","job":"a","event":"done"}` + "\n")
+	got, torn, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("mid-file torn record not tolerated: %v", err)
+	}
+	if torn != 2 {
+		t.Fatalf("torn = %d, want 2", torn)
+	}
+	if len(got) != 2 || got[0].Event != EventAttempt || got[1].Event != EventDone {
+		t.Fatalf("surviving entries wrong: %+v", got)
+	}
+}
+
+// TestAppendSyncDurable checks the fsync-on-append paths: both the AppendSync
+// call and a CreateSync journal produce files whose every line is already
+// visible (and whole) without Close.
+func TestAppendSyncDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.jsonl")
+	j, err := CreateSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Job: "a", Event: EventAttempt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSync(Entry{Job: "a", Event: EventDone}); err != nil {
+		t.Fatal(err)
+	}
+	// Read back while the journal is still open: the appends must already be
+	// durable, not sitting in a buffer waiting for Close.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Read(f)
+	f.Close()
+	if err != nil || torn != 0 {
+		t.Fatalf("read-before-close: torn=%d err=%v", torn, err)
+	}
+	if len(got) != 2 || got[0].Event != EventAttempt || got[1].Event != EventDone {
+		t.Fatalf("entries: %+v", got)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordRoundTrip checks the generic record layer used by the daemon's
+// write-ahead queue: arbitrary record types round-trip line by line.
+func TestRecordRoundTrip(t *testing.T) {
+	type rec struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		N     int    `json:"n"`
+	}
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	j, err := CreateSync(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{{"j1", "pending", 1}, {"j1", "leased", 2}, {"j1", "done", 3}}
+	for _, r := range want {
+		if err := j.AppendRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, torn, err := ReadRecords[rec](f)
+	if err != nil || torn != 0 {
+		t.Fatalf("ReadRecords: torn=%d err=%v", torn, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 
@@ -158,9 +257,12 @@ func TestConcurrentAppend(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(path)
+	got, torn, err := Replay(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d on a clean journal", torn)
 	}
 	if len(got) != writers*per {
 		t.Fatalf("replayed %d entries, want %d", len(got), writers*per)
@@ -175,14 +277,14 @@ func TestConcurrentAppend(t *testing.T) {
 }
 
 // TestAppendToBuffer checks the writer-backed constructor used by tests and
-// future daemon pipes.
+// daemon pipes.
 func TestAppendToBuffer(t *testing.T) {
 	var buf bytes.Buffer
 	j := New(&buf)
 	if err := j.Append(Entry{Job: "b", Event: EventQuarantine, Detail: "retry budget exhausted"}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Read(&buf)
+	got, _, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

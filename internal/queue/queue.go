@@ -1,0 +1,467 @@
+// Package queue is the aigred daemon's durable write-ahead job queue.
+//
+// Every state change is appended to a JSONL write-ahead log (via the
+// internal/journal generic record layer, in fsync-on-append mode) *before*
+// it takes effect in memory: a submission is durable before the client is
+// acknowledged, a lease is durable before the job starts executing, and an
+// outcome is durable before the job is reported terminal. On restart, Open
+// replays the log and reconstructs the queue:
+//
+//   - jobs whose last record is pending are still pending — they run;
+//   - jobs whose last record is leased were in flight when the process died —
+//     they are checkpointed back to pending (with an explicit recovery
+//     record) and re-run exactly once more;
+//   - jobs with a terminal record (done, failed, quarantined, cancelled) are
+//     never executed again, and their Session record remains queryable.
+//
+// Torn log records (a crash mid-append, or a partially persisted page) are
+// skipped with a count, never failing recovery.
+package queue
+
+import (
+	"container/heap"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"aigre/internal/flow"
+	"aigre/internal/gpu"
+	"aigre/internal/journal"
+	"aigre/internal/rcache"
+)
+
+// State is a job's queue state. Submissions start Pending, move to Leased
+// when handed to a runner, and end in exactly one terminal state.
+type State string
+
+const (
+	// Pending: submitted (or checkpointed back), waiting for a runner.
+	Pending State = "pending"
+	// Leased: handed to a runner; in flight.
+	Leased State = "leased"
+	// Done: completed successfully (terminal).
+	Done State = "done"
+	// Failed: completed with a permanent error (terminal).
+	Failed State = "failed"
+	// Quarantined: withdrawn as poison by the supervisor (terminal).
+	Quarantined State = "quarantined"
+	// Cancelled: withdrawn before completion by an operator (terminal).
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state: a job in a terminal state is
+// never leased (hence never executed) again.
+func (s State) Terminal() bool {
+	switch s {
+	case Done, Failed, Quarantined, Cancelled:
+		return true
+	}
+	return false
+}
+
+// Spec describes one submitted job. It is stored whole in the submission's
+// WAL record, so a replayed queue can re-run the job without any other state.
+type Spec struct {
+	// ID is the queue-unique job id (the daemon mints these; see NewID).
+	ID string `json:"id"`
+	// Name labels the job in reports (default: the id).
+	Name string `json:"name,omitempty"`
+	// Script is the optimization script, e.g. "b; rw; rf; b" or a preset.
+	Script string `json:"script"`
+	// Priority orders leasing: higher first, ties in submission order.
+	Priority int `json:"priority,omitempty"`
+	// Parallel selects the GPU-model engines.
+	Parallel bool `json:"parallel,omitempty"`
+	// Workers caps the job's device lease (0 = whole pool).
+	Workers int `json:"workers,omitempty"`
+	// Client identifies the submitter (admission quotas key on this).
+	Client string `json:"client,omitempty"`
+	// Inject is a chaos-testing facility: deterministic fault plans in the
+	// CLI's "kernel-pattern:N:panic|corrupt|stall" syntax, injected into the
+	// job's device leases.
+	Inject []string `json:"inject,omitempty"`
+	// AIGER is the input network payload (binary or ASCII AIGER bytes;
+	// base64-encoded in the JSON record).
+	AIGER []byte `json:"aiger"`
+	// Submitted is the admission time.
+	Submitted time.Time `json:"submitted"`
+}
+
+// Session is the queryable after-the-fact record of a job's execution,
+// persisted in the terminal WAL record so it survives daemon restarts.
+type Session struct {
+	Attempts    int `json:"attempts,omitempty"`
+	Preemptions int `json:"preemptions,omitempty"`
+
+	NodesBefore  int `json:"nodes_before,omitempty"`
+	LevelsBefore int `json:"levels_before,omitempty"`
+	NodesAfter   int `json:"nodes_after,omitempty"`
+	LevelsAfter  int `json:"levels_after,omitempty"`
+
+	QueuedNS  time.Duration `json:"queued_ns,omitempty"`
+	WallNS    time.Duration `json:"wall_ns,omitempty"`
+	ModeledNS time.Duration `json:"modeled_ns,omitempty"`
+
+	// Incidents are the contained failures of the run, with their
+	// supervision Class and Attempt stamps.
+	Incidents []flow.Incident `json:"incidents,omitempty"`
+	// Profile is the per-kernel device profile of a parallel run.
+	Profile []gpu.KernelProfile `json:"profile,omitempty"`
+	// Cache is the resynthesis-cache traffic observed while the job ran.
+	Cache rcache.Stats `json:"cache"`
+}
+
+// Record is one WAL line: job ID moved to State. A Pending record with a
+// Spec is a submission; a Pending record without one is a checkpoint
+// (drain requeue or crash recovery). Terminal records may carry the Session.
+type Record struct {
+	Seq     int64     `json:"seq"`
+	Time    time.Time `json:"time"`
+	ID      string    `json:"id"`
+	State   State     `json:"state"`
+	Detail  string    `json:"detail,omitempty"`
+	Spec    *Spec     `json:"spec,omitempty"`
+	Session *Session  `json:"session,omitempty"`
+}
+
+// Job is the in-memory view of a queued job.
+type Job struct {
+	Spec  Spec
+	State State
+	// Detail explains the latest transition (error text, recovery note).
+	Detail string
+	// Leases counts how many times the job was handed to a runner, across
+	// every incarnation of the queue. A job completed before a crash keeps
+	// Leases == 1 after recovery — the exactly-once evidence.
+	Leases  int
+	Session *Session
+	Updated time.Time
+}
+
+// Stats counts jobs by state plus recovery diagnostics.
+type Stats struct {
+	Pending     int `json:"pending"`
+	Leased      int `json:"leased"`
+	Done        int `json:"done"`
+	Failed      int `json:"failed"`
+	Quarantined int `json:"quarantined"`
+	Cancelled   int `json:"cancelled"`
+	// Recovered counts leases abandoned by a crash that Open checkpointed
+	// back to pending; Torn counts skipped torn WAL records.
+	Recovered int `json:"recovered,omitempty"`
+	Torn      int `json:"torn,omitempty"`
+}
+
+// Active is the queue depth: jobs not yet in a terminal state.
+func (s Stats) Active() int { return s.Pending + s.Leased }
+
+// ErrSaturated is returned by Submit when the queue is at MaxDepth.
+var ErrSaturated = errors.New("queue: saturated")
+
+// NewID mints a random job id ("j-" + 12 hex chars). Collisions are
+// rejected by Submit, so a (vanishingly unlikely) duplicate is an error,
+// not a silent overwrite.
+func NewID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived id rather than panicking a daemon.
+		return fmt.Sprintf("j-%012x", time.Now().UnixNano()&0xffffffffffff)
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxDepth bounds the number of active (pending + leased) jobs; Submit
+	// beyond it returns ErrSaturated (0 = unbounded).
+	MaxDepth int
+}
+
+// Queue is a durable, concurrency-safe job queue. All methods are safe for
+// concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	wal      *journal.Journal
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	pending  pendingHeap
+	seq      int64
+	maxDepth int
+	stats    Stats
+}
+
+// Open replays the WAL at path (creating it when missing) and returns the
+// reconstructed queue. Leases abandoned by a crash are checkpointed back to
+// pending with an explicit recovery record, so the in-flight jobs of a dead
+// daemon re-run exactly once more; terminal jobs are never re-run.
+func Open(path string, opts Options) (*Queue, error) {
+	q := &Queue{
+		jobs:     make(map[string]*Job),
+		maxDepth: opts.MaxDepth,
+	}
+	if f, err := os.Open(path); err == nil {
+		recs, torn, rerr := journal.ReadRecords[Record](f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("queue: replay %s: %w", path, rerr)
+		}
+		q.stats.Torn = torn
+		for _, rec := range recs {
+			q.apply(rec)
+			if rec.Seq > q.seq {
+				q.seq = rec.Seq
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	wal, err := journal.CreateSync(path)
+	if err != nil {
+		return nil, err
+	}
+	q.wal = wal
+	// Crash recovery: a job still marked leased was in flight when the
+	// previous process died. Checkpoint it back to pending — durably, so a
+	// second crash before it re-runs changes nothing.
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State != Leased {
+			continue
+		}
+		if err := q.appendLocked(Record{ID: id, State: Pending,
+			Detail: "recovered: lease abandoned by crash"}); err != nil {
+			q.wal.Close()
+			return nil, err
+		}
+		q.stats.Recovered++
+	}
+	return q, nil
+}
+
+// apply folds one replayed record into the in-memory state. Replay is
+// deliberately forgiving: records that do not fit the state machine (a lease
+// of a terminal job, an unknown id) are ignored — the WAL is evidence, not
+// an oracle, and a terminal state always wins.
+func (q *Queue) apply(rec Record) {
+	j := q.jobs[rec.ID]
+	switch {
+	case rec.State == Pending && rec.Spec != nil:
+		if j != nil {
+			return // duplicate submission record
+		}
+		j = &Job{Spec: *rec.Spec, State: Pending, Updated: rec.Time}
+		q.jobs[rec.ID] = j
+		q.order = append(q.order, rec.ID)
+		q.count(Pending, +1)
+		heap.Push(&q.pending, pendingRef{id: rec.ID, priority: j.Spec.Priority, seq: rec.Seq})
+	case j == nil || j.State.Terminal():
+		// Unknown job or post-terminal record: ignore.
+	case rec.State == Leased:
+		q.count(j.State, -1)
+		q.count(Leased, +1)
+		j.State = Leased
+		j.Leases++
+		j.Updated = rec.Time
+		q.pending.remove(rec.ID)
+	case rec.State == Pending: // checkpoint / recovery
+		q.count(j.State, -1)
+		q.count(Pending, +1)
+		j.State = Pending
+		j.Detail = rec.Detail
+		j.Updated = rec.Time
+		heap.Push(&q.pending, pendingRef{id: rec.ID, priority: j.Spec.Priority, seq: rec.Seq})
+	case rec.State.Terminal():
+		q.count(j.State, -1)
+		q.count(rec.State, +1)
+		j.State = rec.State
+		j.Detail = rec.Detail
+		j.Session = rec.Session
+		j.Updated = rec.Time
+		q.pending.remove(rec.ID)
+	}
+}
+
+func (q *Queue) count(s State, d int) {
+	switch s {
+	case Pending:
+		q.stats.Pending += d
+	case Leased:
+		q.stats.Leased += d
+	case Done:
+		q.stats.Done += d
+	case Failed:
+		q.stats.Failed += d
+	case Quarantined:
+		q.stats.Quarantined += d
+	case Cancelled:
+		q.stats.Cancelled += d
+	}
+}
+
+// appendLocked durably appends a record (stamping seq and time) and folds it
+// into memory. The WAL write happens first: if it fails, the state does not
+// change and the caller reports the error — write-ahead, never behind.
+func (q *Queue) appendLocked(rec Record) error {
+	q.seq++
+	rec.Seq = q.seq
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	if err := q.wal.AppendRecord(rec); err != nil {
+		q.seq--
+		return err
+	}
+	q.apply(rec)
+	return nil
+}
+
+// Submit durably admits a job: the submission record is fsynced before
+// Submit returns, so an acknowledgment built on it cannot be lost. Returns
+// ErrSaturated at MaxDepth and an error on a duplicate or empty id.
+func (q *Queue) Submit(spec Spec) error {
+	if spec.ID == "" {
+		return errors.New("queue: empty job id")
+	}
+	if spec.Submitted.IsZero() {
+		spec.Submitted = time.Now()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, dup := q.jobs[spec.ID]; dup {
+		return fmt.Errorf("queue: duplicate job id %q", spec.ID)
+	}
+	if q.maxDepth > 0 && q.stats.Active() >= q.maxDepth {
+		return fmt.Errorf("%w: %d active jobs (max %d)", ErrSaturated, q.stats.Active(), q.maxDepth)
+	}
+	return q.appendLocked(Record{ID: spec.ID, State: Pending, Spec: &spec})
+}
+
+// Lease durably hands the highest-priority pending job to a runner. The
+// lease record hits disk before the spec is returned, so a crash during
+// execution is recoverable: replay sees the lease and checkpoints the job
+// back to pending. Returns (nil, nil) when nothing is pending; a non-nil
+// error means the WAL append failed and nothing was leased.
+func (q *Queue) Lease() (*Spec, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.pending.Len() > 0 {
+		ref := q.pending[0]
+		j := q.jobs[ref.id]
+		if j == nil || j.State != Pending {
+			heap.Pop(&q.pending) // stale ref (requeued under a newer one)
+			continue
+		}
+		if err := q.appendLocked(Record{ID: ref.id, State: Leased}); err != nil {
+			return nil, err
+		}
+		spec := j.Spec
+		return &spec, nil
+	}
+	return nil, nil
+}
+
+// Resolve durably records a leased job's terminal outcome together with its
+// queryable session record. Resolving a job that is not leased is an error —
+// it would mean a runner finished a job it never held.
+func (q *Queue) Resolve(id string, state State, detail string, sess *Session) error {
+	if !state.Terminal() {
+		return fmt.Errorf("queue: Resolve to non-terminal state %q", state)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[id]
+	if j == nil {
+		return fmt.Errorf("queue: resolve of unknown job %q", id)
+	}
+	if j.State != Leased {
+		return fmt.Errorf("queue: resolve of job %q in state %q (want leased)", id, j.State)
+	}
+	return q.appendLocked(Record{ID: id, State: state, Detail: detail, Session: sess})
+}
+
+// Requeue durably checkpoints a leased job back to pending — the drain path:
+// an in-flight job that could not finish before the drain deadline goes back
+// so the next daemon incarnation runs it.
+func (q *Queue) Requeue(id, detail string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[id]
+	if j == nil {
+		return fmt.Errorf("queue: requeue of unknown job %q", id)
+	}
+	if j.State != Leased {
+		return fmt.Errorf("queue: requeue of job %q in state %q (want leased)", id, j.State)
+	}
+	return q.appendLocked(Record{ID: id, State: Pending, Detail: detail})
+}
+
+// Get returns a snapshot of one job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Stats returns the per-state counts and recovery diagnostics.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Close closes the WAL. The queue must not be used afterwards.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.wal.Close()
+}
+
+// pendingRef orders the pending heap: highest priority first, then WAL
+// sequence (submission / requeue order). A job requeued later keeps its
+// place by priority but goes behind jobs already waiting at that priority.
+type pendingRef struct {
+	id       string
+	priority int
+	seq      int64
+}
+
+type pendingHeap []pendingRef
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x any)   { *h = append(*h, x.(pendingRef)) }
+func (h *pendingHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *pendingHeap) remove(id string) {
+	for i := range *h {
+		if (*h)[i].id == id {
+			heap.Remove(h, i)
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aigre/internal/flow"
+)
+
+// TestShutdownDrainsQueuedAndWaitsInFlight is the serve-mode drain contract:
+// Shutdown withdraws queued jobs without running them (tickets resolve with
+// ErrDrained), keeps in-flight jobs running, and reports whether they beat
+// the deadline.
+func TestShutdownDrainsQueuedAndWaitsInFlight(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	e := NewEngine(context.Background(), pool, Options{MaxConcurrentJobs: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ran := make(map[string]bool)
+	mk := func(name string) Job {
+		a := testAIG(1)
+		return Job{Name: name, AIG: a, Script: "b", Custom: func(ctx context.Context, p *Pool) (flow.Result, error) {
+			ran[name] = true // MaxConcurrentJobs=1 serializes runners
+			if name == "slow" {
+				close(started)
+				<-release
+			}
+			return flow.Result{AIG: a}, nil
+		}}
+	}
+	slow, err := e.Submit(context.Background(), mk("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // slow is in flight; the rest will sit in the queue
+	q1, err := e.Submit(context.Background(), mk("queued1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Submit(context.Background(), mk("queued2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	dropped, ok := e.Shutdown(ctx)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if ok {
+		t.Fatal("Shutdown reported ok with a job still in flight")
+	}
+	for _, tk := range []*Ticket{q1, q2} {
+		res := tk.Wait()
+		if !errors.Is(res.Err, ErrDrained) || !res.Cancelled {
+			t.Fatalf("queued job result: err=%v cancelled=%v, want ErrDrained", res.Err, res.Cancelled)
+		}
+		if res.NodesBefore == 0 {
+			t.Error("drained result lost the before-stats")
+		}
+	}
+	if ran["queued1"] || ran["queued2"] {
+		t.Fatal("a drained job was executed")
+	}
+
+	// Admission is closed.
+	if _, err := e.Submit(context.Background(), mk("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Shutdown: %v, want ErrClosed", err)
+	}
+
+	// Release the in-flight job: it must finish normally, and a second
+	// Shutdown (nothing queued, nothing running) must report ok.
+	close(release)
+	if res := slow.Wait(); res.Err != nil {
+		t.Fatalf("in-flight job after drain: %v", res.Err)
+	}
+	if _, ok := e.Shutdown(context.Background()); !ok {
+		t.Fatal("second Shutdown with idle engine not ok")
+	}
+	m := e.Metrics()
+	if m.Cancelled != 2 || m.Finished != 1 {
+		t.Fatalf("metrics = %+v, want 2 cancelled / 1 finished", m)
+	}
+}
+
+// TestShutdownCompletesInFlightInTime checks the clean-drain path: with a
+// generous deadline, Shutdown returns ok once the running job finishes.
+func TestShutdownCompletesInFlightInTime(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	e := NewEngine(context.Background(), pool, Options{MaxConcurrentJobs: 1})
+	a := testAIG(2)
+	started := make(chan struct{})
+	tk, err := e.Submit(context.Background(), Job{Name: "j", AIG: a, Script: "b",
+		Custom: func(ctx context.Context, p *Pool) (flow.Result, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond)
+			return flow.Result{AIG: a}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	dropped, ok := e.Shutdown(ctx)
+	if dropped != 0 || !ok {
+		t.Fatalf("Shutdown = (%d, %v), want (0, true)", dropped, ok)
+	}
+	if res := tk.Wait(); res.Err != nil {
+		t.Fatalf("drained in-flight job: %v", res.Err)
+	}
+}

@@ -196,6 +196,10 @@ type Engine struct {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("sched: engine closed")
 
+// ErrDrained resolves the tickets of jobs that were still queued when
+// Shutdown drained the engine: they never started and were not run.
+var ErrDrained = errors.New("sched: engine drained before the job started")
+
 // NewEngine starts an engine over pool. ctx, when non-nil, cancels every
 // job (queued and running) engine-wide when it is done.
 func NewEngine(ctx context.Context, pool *Pool, opts Options) *Engine {
@@ -258,6 +262,55 @@ func (e *Engine) Close() {
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.runners.Wait()
+}
+
+// Shutdown is the serve-mode drain: it stops admission, withdraws every job
+// still waiting in the queue *without running it* — their tickets resolve
+// Cancelled with an error wrapping ErrDrained, so a durable queue feeding
+// the engine can checkpoint them — and waits for the in-flight jobs to
+// finish until ctx is done.
+//
+// It returns how many queued jobs were dropped and whether every in-flight
+// job finished before the deadline. On ok == false the stragglers are still
+// running: cancel the engine-wide context to force them to stop at the next
+// kernel-launch boundary, then Close (which waits) to reap them.
+func (e *Engine) Shutdown(ctx context.Context) (dropped int, ok bool) {
+	e.mu.Lock()
+	e.closed = true
+	for len(e.queue) > 0 {
+		q := heap.Pop(&e.queue).(*queuedJob)
+		res := Result{
+			Name:      q.job.Name,
+			Script:    q.job.Script,
+			Err:       fmt.Errorf("sched: job %q: %w", q.job.Name, ErrDrained),
+			Cancelled: true,
+			Queued:    time.Since(q.submitted),
+		}
+		res.NodesBefore = q.job.AIG.NumAnds()
+		res.LevelsBefore = q.job.AIG.Levels()
+		e.metrics.Cancelled++
+		e.jour.Append(journal.Entry{Job: q.job.Name, Event: journal.EventCancel,
+			Detail: ErrDrained.Error()})
+		q.ticket.res = res
+		close(q.ticket.done)
+		dropped++
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		e.runners.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-done:
+		return dropped, true
+	case <-ctx.Done():
+		return dropped, false
+	}
 }
 
 // Metrics returns a snapshot of the fleet statistics.

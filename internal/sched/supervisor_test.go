@@ -78,7 +78,7 @@ func TestRetryTransientToSuccess(t *testing.T) {
 	if m.Finished != 1 || m.Retries != 2 || m.Quarantined != 0 {
 		t.Errorf("metrics = %+v", m)
 	}
-	entries, err := journal.Read(&buf)
+	entries, _, err := journal.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestQuarantineOnExhaustedBudget(t *testing.T) {
 	if m.Quarantined != 1 || m.Failed != 0 {
 		t.Errorf("metrics = %+v", m)
 	}
-	entries, _ := journal.Read(&buf)
+	entries, _, _ := journal.Read(&buf)
 	last := entries[len(entries)-1]
 	if last.Event != journal.EventQuarantine {
 		t.Errorf("last journal event %q, want quarantine", last.Event)
@@ -224,7 +224,7 @@ func TestWatchdogPreemptsStuckJob(t *testing.T) {
 	if m.Quarantined != 1 {
 		t.Errorf("metrics = %+v", m)
 	}
-	entries, _ := journal.Read(&buf)
+	entries, _, _ := journal.Read(&buf)
 	preempts := 0
 	for _, e := range entries {
 		if e.Event == journal.EventPreempt {
@@ -434,7 +434,7 @@ func TestConcurrentIncidentAppendStress(t *testing.T) {
 	if m.Finished != jobsN {
 		t.Errorf("metrics = %+v, want %d finished", m, jobsN)
 	}
-	entries, err := journal.Read(&buf)
+	entries, _, err := journal.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

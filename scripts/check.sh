@@ -44,5 +44,15 @@ echo "chaos gate seed: $CHAOS_SEED"
 go test -race -count=1 -run 'TestChaosBatchSupervision' -chaos-seed="$CHAOS_SEED" .
 # Supervision/journal concurrency, explicitly, under -race.
 go test -race -count=1 -run 'TestConcurrentIncidentAppendStress|TestConcurrentAppend' ./internal/sched/ ./internal/journal/
+# Durable queue: WAL replay reconstruction, torn-record tolerance, and the
+# concurrent lease/resolve stress with exactly-once cross-checks, under -race.
+go test -race -count=1 ./internal/queue/
+# Daemon smoke gate: the aigred e2e pair — crash the daemon mid-batch with
+# jobs leased (hard os.Exit, no checkpoint), restart against the same queue
+# file, and assert every job reaches exactly one terminal state with no
+# re-execution of completed work; then SIGTERM a daemon with a job in
+# flight and assert the drain finishes it, 503s new submissions, leaves the
+# backlog durably pending, and exits 0.
+go test -race -count=1 -run 'TestDaemonCrashRecovery|TestDaemonDrainSmoke' ./cmd/aigred/
 # Fuzz smoke: the AIGER parser must never panic on arbitrary input.
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
