@@ -81,6 +81,27 @@ type Policy struct {
 	Seed int64
 }
 
+// JobEvent is one live supervision event, delivered via
+// BatchOptions.OnEvent: an attempt starting, a contained incident, a retry
+// with its backoff, a watchdog preemption, a deadline timeout, a
+// quarantine, or the final outcome.
+type JobEvent struct {
+	// Job is the Batch.Name of the job the event belongs to.
+	Job string
+	// Attempt is the 1-based attempt ordinal, when the event is tied to one.
+	Attempt int
+	// Event is the supervision event name: "attempt", "incident", "retry",
+	// "preempt", "timeout", "quarantine", "done", "fail", or "cancel".
+	Event string
+	// Class is the failure classification for incident/retry events.
+	Class string
+	// Detail is the human-readable note (error text, preemption cause).
+	Detail string
+	// Backoff is the delay before the retry, for retry events.
+	Backoff time.Duration
+	Time    time.Time
+}
+
 func (p Policy) internal() sched.Policy {
 	return sched.Policy{
 		JobTimeout:    p.JobTimeout,
@@ -117,6 +138,13 @@ type BatchOptions struct {
 	// the process and can be replayed with internal/journal.Replay (or any
 	// JSONL reader). The file is created if missing, appended otherwise.
 	JournalPath string
+	// OnEvent, when set, receives every supervision event of the batch or
+	// engine — the same stream JournalPath persists — as it happens, with
+	// or without a journal file. Calls are serialized in journal order and
+	// run on the supervised job's own path: keep the callback fast and
+	// non-blocking (hand the event to a channel or bus), or it will stall
+	// the fleet. The aigred daemon's live progress streams hang off this.
+	OnEvent func(JobEvent)
 }
 
 // BatchResult reports one job of a batch.

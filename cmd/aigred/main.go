@@ -8,22 +8,39 @@
 // pending and re-run exactly once more, and completed jobs — whose session
 // records remain queryable — are never executed again.
 //
+// Optimized networks are persisted to a content-addressed blob store at
+// outcome time, so results survive restarts and remain fetchable for as
+// long as their jobs' records do. The WAL is compacted — snapshot, fsync,
+// atomic rename — on restart and once it outgrows -compact-bytes with
+// mostly-terminal records, so neither log nor store grows without bound.
+//
 // Usage:
 //
 //	aigred -queue /var/lib/aigred/queue.jsonl -addr 127.0.0.1:8080 \
-//	       -parallel -workers 8 -retries 2 -stuck-timeout 2s
+//	       -parallel -workers 8 -retries 2 -stuck-timeout 2s \
+//	       -client-weight batch=1 -client-weight interactive=4
 //
-// Endpoints:
+// Endpoints (v1; the flat pre-v1 routes remain as deprecated aliases):
 //
-//	POST /jobs      submit a job; 202 {"id": "..."} once durable
-//	GET  /jobs      list all jobs (payloads elided)
-//	GET  /jobs/{id} one job's state, incidents, profile, cache stats
-//	GET  /stats     queue depths, engine metrics, recovery diagnostics
-//	GET  /healthz   liveness (reports draining)
+//	POST /v1/jobs              submit a job; 202 {"id": "..."} once durable
+//	GET  /v1/jobs              list jobs; ?state= ?client= ?limit= filters
+//	GET  /v1/jobs/{id}         one job's state, incidents, profile, cache stats
+//	GET  /v1/jobs/{id}/result  the optimized AIGER (binary; ?format=json for base64)
+//	GET  /v1/jobs/{id}/events  live progress as SSE; Last-Event-ID resumes
+//	GET  /v1/stats             queue depths, engine metrics, store size
+//	GET  /healthz              liveness (reports draining)
+//
+// Errors are a typed JSON envelope {"error": {"code", "message",
+// "retry_after_ms"}} with machine-readable codes (saturated, rate_limited,
+// draining, not_found, invalid_argument, ...).
 //
 // Admission control: -max-depth bounds the active queue (503 + Retry-After
 // beyond it) and -rate/-burst give each client a token bucket (429 +
-// Retry-After when empty).
+// Retry-After when empty). Scheduling across clients is weighted-fair:
+// -client-weight name=N sets fair-share weights (stride scheduling; a
+// weight-4 client leases 4 jobs per weight-1 job under saturation) and
+// -client-max name=N caps a client's concurrently leased jobs; use name '*'
+// for the default applied to unlisted clients.
 //
 // Shutdown: the first SIGTERM/SIGINT starts a graceful drain — new
 // submissions get 503, in-flight jobs finish under -drain-timeout, jobs
@@ -47,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +83,7 @@ func run(args []string) int {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:0", "listen address")
 		queueF   = fs.String("queue", "", "durable queue WAL path (required; created if missing)")
+		storeF   = fs.String("store", "", "result blob store directory (default: <queue>.store)")
 		portFile = fs.String("port-file", "", "write the bound address to this file once listening")
 		workers  = fs.Int("workers", 0, "worker goroutines for the shared device pool (0 = GOMAXPROCS)")
 		maxJobs  = fs.Int("max-jobs", 1, "max concurrently executing jobs")
@@ -77,8 +96,17 @@ func run(args []string) int {
 		stuckTmo = fs.Duration("stuck-timeout", 0, "watchdog threshold: preempt a job whose kernel heartbeat stalls this long (0 = off)")
 		shCache  = fs.Bool("shared-cache", false, "share one resynthesis cache across all jobs")
 		parallel = fs.Bool("parallel", false, "default jobs to the parallel (GPU-model) engines")
+		compactB = fs.Int64("compact-bytes", 8<<20, "compact the queue WAL once it exceeds this size and terminal jobs dominate (0 = never live-compact)")
 		verbose  = fs.Bool("v", false, "log every job transition")
 	)
+	weights := map[string]int{}
+	defWeight := 0
+	fs.Func("client-weight", "fair-share weight, name=N (repeatable; name '*' sets the default)",
+		clientFlag(weights, &defWeight, 1))
+	maxInfl := map[string]int{}
+	defMaxInfl := 0
+	fs.Func("client-max", "max concurrently leased jobs, name=N (repeatable; name '*' sets the default)",
+		clientFlag(maxInfl, &defMaxInfl, 1))
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,7 +115,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	if *maxJobs < 1 || *retries < 0 || *rate < 0 || *burst < 0 || *maxDepth < 0 {
+	if *maxJobs < 1 || *retries < 0 || *rate < 0 || *burst < 0 || *maxDepth < 0 || *compactB < 0 {
 		fmt.Fprintln(os.Stderr, "aigred: negative or zero capacity flags")
 		return 2
 	}
@@ -108,14 +136,20 @@ func run(args []string) int {
 		bopts.SharedCache = aigre.NewCache()
 	}
 	srv, err := newServer(ctx, serverConfig{
-		queuePath: *queueF,
-		maxDepth:  *maxDepth,
-		maxJobs:   *maxJobs,
-		rate:      *rate,
-		burst:     *burst,
-		parallel:  *parallel,
-		verbose:   *verbose,
-		batch:     bopts,
+		queuePath:    *queueF,
+		storePath:    *storeF,
+		maxDepth:     *maxDepth,
+		maxJobs:      *maxJobs,
+		rate:         *rate,
+		burst:        *burst,
+		weights:      weights,
+		maxInflight:  maxInfl,
+		defWeight:    defWeight,
+		defMaxInfl:   defMaxInfl,
+		compactBytes: *compactB,
+		parallel:     *parallel,
+		verbose:      *verbose,
+		batch:        bopts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aigred:", err)
@@ -161,6 +195,27 @@ func run(args []string) int {
 	cancel()
 	srv.close()
 	return code
+}
+
+// clientFlag parses one "name=N" occurrence of a repeatable per-client
+// flag into m, routing the '*' pseudo-client to *def. N must be >= min.
+func clientFlag(m map[string]int, def *int, min int) func(string) error {
+	return func(v string) error {
+		name, nstr, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=N, got %q", v)
+		}
+		n, err := strconv.Atoi(nstr)
+		if err != nil || n < min {
+			return fmt.Errorf("bad value %q (want an integer >= %d)", nstr, min)
+		}
+		if name == "*" {
+			*def = n
+		} else {
+			m[name] = n
+		}
+		return nil
+	}
 }
 
 // recoveryNote summarizes what Open found in the replayed WAL.

@@ -1,10 +1,10 @@
 package main
 
 import (
-	"encoding/json"
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"aigre"
+	"aigre/client"
+	"aigre/internal/bench"
 	"aigre/internal/queue"
 )
 
@@ -26,10 +29,11 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// daemon is one child aigred process under test.
+// daemon is one child aigred process under test, driven through the public
+// Go client — the same client any other program would use.
 type daemon struct {
 	cmd    *exec.Cmd
-	addr   string
+	api    *client.Client
 	stderr *strings.Builder
 }
 
@@ -49,7 +53,7 @@ func startDaemon(t *testing.T, qpath string, env []string, extra ...string) *dae
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
-			d.addr = "http://" + string(b)
+			d.api = client.New("http://" + string(b))
 			return d
 		}
 		if time.Now().After(deadline) {
@@ -75,37 +79,38 @@ func (d *daemon) wait(t *testing.T) int {
 	return -1
 }
 
-func (d *daemon) submit(t *testing.T, req submitRequest) (string, int) {
+// submit enqueues one job through the client and returns its id.
+func (d *daemon) submit(t *testing.T, req client.SubmitRequest) string {
 	t.Helper()
-	code, body, _ := postJSON(t, d.addr+"/jobs", req)
-	var ack map[string]string
-	json.Unmarshal(body, &ack)
-	return ack["id"], code
+	ack, err := d.api.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("submit: %v; stderr:\n%s", err, d.stderr)
+	}
+	return ack.ID
 }
 
-func (d *daemon) jobs(t *testing.T) map[string]jobView {
+// jobs lists every job keyed by id.
+func (d *daemon) jobs(t *testing.T) map[string]client.Job {
 	t.Helper()
-	var views []jobView
-	if code := getJSON(t, d.addr+"/jobs", &views); code != http.StatusOK {
-		t.Fatalf("GET /jobs: %d", code)
+	views, err := d.api.List(context.Background(), client.ListOptions{})
+	if err != nil {
+		t.Fatalf("list jobs: %v", err)
 	}
-	out := make(map[string]jobView, len(views))
+	out := make(map[string]client.Job, len(views))
 	for _, v := range views {
 		out[v.ID] = v
 	}
 	return out
 }
 
-// waitIdle polls /stats until no job is pending or leased.
+// waitIdle polls stats until no job is pending or leased.
 func (d *daemon) waitIdle(t *testing.T, timeout time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		var st struct {
-			Queue queue.Stats `json:"queue"`
-		}
-		if code := getJSON(t, d.addr+"/stats", &st); code != http.StatusOK {
-			t.Fatalf("GET /stats: %d", code)
+		st, err := d.api.Stats(context.Background())
+		if err != nil {
+			t.Fatalf("stats: %v", err)
 		}
 		if st.Queue.Active() == 0 {
 			return
@@ -117,43 +122,59 @@ func (d *daemon) waitIdle(t *testing.T, timeout time.Duration) {
 	}
 }
 
+// bigAigerBytes renders a benchmark network large enough that AIGER payloads
+// dominate the WAL — which is what makes compaction's size win observable.
+func bigAigerBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := aigre.FromInternal(bench.Adder(256)).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestDaemonCrashRecovery is the tentpole acceptance test: submit jobs, kill
 // the daemon mid-run without any shutdown handling, restart it against the
 // same queue file, and verify every job reaches exactly one terminal state —
 // the job finished before the crash is not re-executed, the job in flight at
 // the crash re-runs exactly once more, and the untouched job runs normally.
+// The restart also forces WAL compaction, after which every completed job's
+// optimized network must still be retrievable from the result store, and the
+// SSE event stream must resume across a disconnect with no gap.
 func TestDaemonCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns child processes")
 	}
+	ctx := context.Background()
 	qpath := filepath.Join(t.TempDir(), "queue.jsonl")
-	aig := aigerBytes(t)
+	aig := bigAigerBytes(t)
 
 	// Incarnation 1: hard-exits (os.Exit, no checkpoint) right after the
 	// second lease — job 1 done, job 2 leased but never run, job 3 pending.
 	d1 := startDaemon(t, qpath, []string{"AIGRED_CRASH_AFTER_LEASES=2"}, "-max-jobs", "1")
 	var ids [3]string
 	for i := range ids {
-		req := submitRequest{Name: fmt.Sprintf("job%d", i+1), Script: "b; rw", AIGER: aig}
+		req := client.SubmitRequest{Name: fmt.Sprintf("job%d", i+1), Script: "b; rw", AIGER: aig}
 		if i == 0 {
 			// Stall job 1 (~250ms) so the crash-triggering second lease
 			// cannot happen until all three submissions are acknowledged.
 			req.Parallel = ptr(true)
 			req.Inject = []string{"rewrite/evaluate:1:stall"}
 		}
-		id, code := d1.submit(t, req)
-		if code != http.StatusAccepted {
-			t.Fatalf("submit %d: %d; stderr:\n%s", i, code, d1.stderr)
-		}
-		ids[i] = id
+		ids[i] = d1.submit(t, req)
 	}
 	if code := d1.wait(t); code != 2 {
 		t.Fatalf("crashed daemon exit %d, want 2; stderr:\n%s", code, d1.stderr)
 	}
+	preCompact, err := os.Stat(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	// Incarnation 2: replays the WAL, checkpoints the abandoned lease back
-	// to pending, runs the backlog, and keeps terminal jobs terminal.
-	d2 := startDaemon(t, qpath, nil, "-max-jobs", "1")
+	// Incarnation 2: replays the WAL, compacts it, checkpoints the abandoned
+	// lease back to pending, runs the backlog, and keeps terminal jobs
+	// terminal. -compact-bytes 1 arms live compaction as outcomes land.
+	d2 := startDaemon(t, qpath, nil, "-max-jobs", "1", "-compact-bytes", "1")
 	d2.waitIdle(t, 60*time.Second)
 	jobs := d2.jobs(t)
 	if len(jobs) != 3 {
@@ -164,7 +185,7 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		if !ok {
 			t.Fatalf("job %d (%s) lost across restart", i, id)
 		}
-		if jv.State != queue.Done {
+		if jv.State != client.StateDone {
 			t.Errorf("job %d: state %q (%s), want done", i, jv.State, jv.Detail)
 		}
 		if jv.Session == nil || jv.Session.NodesAfter == 0 {
@@ -182,11 +203,78 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	if l := jobs[ids[2]].Leases; l != 1 {
 		t.Errorf("backlog job: %d leases, want 1", l)
 	}
+	// Every completed job's optimized network is retrievable from the
+	// durable result store — including job 1's, which was computed and
+	// stored by the incarnation that crashed.
+	for i, id := range ids {
+		data, digest, err := d2.api.Result(ctx, id)
+		if err != nil {
+			t.Fatalf("job %d result: %v", i, err)
+		}
+		if digest == "" || digest != jobs[id].Session.Result {
+			t.Errorf("job %d: digest %q vs session %q", i, digest, jobs[id].Session.Result)
+		}
+		n, err := aigre.Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("job %d: result is not AIGER: %v", i, err)
+		}
+		if got := n.Stats().Nodes; got != jobs[id].Session.NodesAfter {
+			t.Errorf("job %d: result has %d nodes, session says %d", i, got, jobs[id].Session.NodesAfter)
+		}
+	}
+	// Compaction ran (at open, and again live as terminal records landed),
+	// and the WAL is now smaller than the crash left it even though three
+	// more sessions' worth of history happened since.
+	st, err := d2.api.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queue.Compactions < 1 {
+		t.Errorf("no compaction ran on restart: %+v", st.Queue)
+	}
+	if st.Queue.WALBytes >= preCompact.Size() {
+		t.Errorf("WAL not smaller after compaction: %d -> %d bytes",
+			preCompact.Size(), st.Queue.WALBytes)
+	}
+	// SSE resume with no gap: stream the crashed job's full history —
+	// which spans both incarnations — then disconnect and reconnect with
+	// an early Last-Event-ID; the resumed stream must replay exactly the
+	// suffix, ending in the durable terminal event.
+	full := collectEvents(t, d2, ids[1], "")
+	if len(full) < 3 {
+		t.Fatalf("crashed job's history too short: %+v", full)
+	}
+	for i, ev := range full {
+		if ev.Seq != i+1 {
+			t.Fatalf("event gap in full history: %+v", full)
+		}
+	}
+	if last := full[len(full)-1]; last.Type != client.StateDone {
+		t.Fatalf("history ends %q, want done", last.Type)
+	}
+	resumed := collectEvents(t, d2, ids[1], full[0].ID)
+	if len(resumed) != len(full)-1 {
+		t.Fatalf("resume after %s: %d events, want %d", full[0].ID, len(resumed), len(full)-1)
+	}
+	for i, ev := range resumed {
+		if ev.ID != full[i+1].ID || ev.Seq != full[i+1].Seq {
+			t.Fatalf("resume gap/duplicate at %d: got %+v, want %+v", i, ev, full[i+1])
+		}
+	}
+
 	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	if code := d2.wait(t); code != 0 {
 		t.Fatalf("clean drain exit %d, want 0; stderr:\n%s", code, d2.stderr)
+	}
+	finalWAL, err := os.Stat(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalWAL.Size() >= preCompact.Size() {
+		t.Errorf("final WAL not smaller than pre-compaction: %d -> %d bytes",
+			preCompact.Size(), finalWAL.Size())
 	}
 
 	// The WAL itself must replay to the same terminal picture.
@@ -195,20 +283,43 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer q.Close()
-	st := q.Stats()
-	if st.Done != 3 || st.Active() != 0 || st.Failed != 0 || st.Torn != 0 {
-		t.Fatalf("replayed WAL: %+v, want 3 done", st)
+	qst := q.Stats()
+	if qst.Done != 3 || qst.Active() != 0 || qst.Failed != 0 || qst.Torn != 0 {
+		t.Fatalf("replayed WAL: %+v, want 3 done", qst)
 	}
+}
+
+// collectEvents drains one SSE subscription of a terminal job: the daemon
+// replays from lastID and closes the stream at the terminal event.
+func collectEvents(t *testing.T, d *daemon, id, lastID string) []client.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stream, err := d.api.Events(ctx, id, lastID)
+	if err != nil {
+		t.Fatalf("events %s: %v", id, err)
+	}
+	defer stream.Close()
+	var evs []client.Event
+	for ev := range stream.C {
+		evs = append(evs, ev)
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("events %s: %v", id, err)
+	}
+	return evs
 }
 
 // TestDaemonDrainSmoke is the graceful-drain acceptance test: SIGTERM with
 // one job in flight and one waiting. The in-flight job finishes, a
-// submission during the drain gets 503, the waiting job is left durably
-// pending for the next incarnation, and the daemon exits 0.
+// submission during the drain gets a typed "draining" refusal, the waiting
+// job is left durably pending for the next incarnation, and the daemon
+// exits 0.
 func TestDaemonDrainSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns child processes")
 	}
+	ctx := context.Background()
 	qpath := filepath.Join(t.TempDir(), "queue.jsonl")
 	aig := aigerBytes(t)
 	d := startDaemon(t, qpath, nil, "-max-jobs", "1", "-workers", "2", "-drain-timeout", "60s")
@@ -216,20 +327,14 @@ func TestDaemonDrainSmoke(t *testing.T) {
 	// The in-flight job stalls on its first four rewrite evaluations
 	// (~250ms each), holding the single slot open long enough to land a
 	// SIGTERM while it runs.
-	slow := submitRequest{Name: "slow", Script: "b; rw; rf; b", Parallel: ptr(true), AIGER: aig,
+	slowID := d.submit(t, client.SubmitRequest{Name: "slow", Script: "b; rw; rf; b",
+		Parallel: ptr(true), AIGER: aig,
 		Inject: []string{"rewrite/evaluate:1:stall", "rewrite/evaluate:2:stall",
-			"rewrite/evaluate:3:stall", "rewrite/evaluate:4:stall"}}
-	slowID, code := d.submit(t, slow)
-	if code != http.StatusAccepted {
-		t.Fatalf("slow submit: %d", code)
-	}
-	waitID, code := d.submit(t, submitRequest{Name: "waiting", Script: "b", AIGER: aig})
-	if code != http.StatusAccepted {
-		t.Fatalf("waiting submit: %d", code)
-	}
+			"rewrite/evaluate:3:stall", "rewrite/evaluate:4:stall"}})
+	waitID := d.submit(t, client.SubmitRequest{Name: "waiting", Script: "b", AIGER: aig})
 	// Wait for the slow job to be leased so the SIGTERM lands mid-flight.
 	deadline := time.Now().Add(30 * time.Second)
-	for d.jobs(t)[slowID].State != queue.Leased {
+	for d.jobs(t)[slowID].State != client.StateLeased {
 		if time.Now().After(deadline) {
 			t.Fatalf("slow job never leased; stderr:\n%s", d.stderr)
 		}
@@ -239,11 +344,11 @@ func TestDaemonDrainSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wait for the drain to be observable (the stalled job holds the slot
-	// open for ~1s), then check that new submissions are refused with 503.
+	// open for ~1s), then check that new submissions are refused with the
+	// typed draining error.
 	for deadline := time.Now().Add(10 * time.Second); ; {
-		var health map[string]any
-		getJSON(t, d.addr+"/healthz", &health)
-		if health["draining"] == true {
+		st, err := d.api.Stats(ctx)
+		if err == nil && st.Draining {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -251,12 +356,13 @@ func TestDaemonDrainSmoke(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	code, body, hdr := postJSON(t, d.addr+"/jobs", submitRequest{Script: "b", AIGER: aig})
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("submit during drain: %d (%s), want 503", code, body)
+	_, err := d.api.Submit(ctx, client.SubmitRequest{Script: "b", AIGER: aig})
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 || apiErr.Code != "draining" {
+		t.Fatalf("submit during drain: %v, want 503/draining", err)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Error("drain 503 without Retry-After")
+	if !apiErr.IsRetryable() {
+		t.Error("draining refusal without a retry hint")
 	}
 	if code := d.wait(t); code != 0 {
 		t.Fatalf("drain exit %d, want 0; stderr:\n%s", code, d.stderr)

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,10 +18,12 @@ import (
 	"time"
 
 	"aigre"
+	"aigre/internal/bus"
 	"aigre/internal/flow"
 	"aigre/internal/gpu"
 	"aigre/internal/queue"
 	"aigre/internal/rcache"
+	"aigre/internal/store"
 )
 
 // maxBody bounds a submission body (the AIGER payload dominates).
@@ -27,13 +31,21 @@ const maxBody = 64 << 20
 
 type serverConfig struct {
 	queuePath string
+	storePath string // result blob store root ("" = queuePath + ".store")
 	maxDepth  int
 	maxJobs   int
 	rate      float64
 	burst     int
-	parallel  bool
-	verbose   bool
-	batch     aigre.BatchOptions
+	// weights/maxInflight are the per-client fair-share weights and lease
+	// caps; defWeight/defMaxInflight apply to unlisted clients.
+	weights      map[string]int
+	maxInflight  map[string]int
+	defWeight    int
+	defMaxInfl   int
+	compactBytes int64
+	parallel     bool
+	verbose      bool
+	batch        aigre.BatchOptions
 }
 
 // server wires the durable queue to the batch engine: an HTTP front end
@@ -45,6 +57,8 @@ type serverConfig struct {
 type server struct {
 	cfg  serverConfig
 	q    *queue.Queue
+	st   *store.Store
+	bus  *bus.Bus
 	eng  *aigre.Engine
 	lim  *limiter
 	http *http.Server
@@ -65,9 +79,59 @@ type server struct {
 }
 
 func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
-	q, err := queue.Open(cfg.queuePath, queue.Options{MaxDepth: cfg.maxDepth})
+	if cfg.storePath == "" {
+		cfg.storePath = cfg.queuePath + ".store"
+	}
+	// The bus exists before the queue so replayed WAL records seed each
+	// job's event history: an SSE client reconnecting after a restart
+	// replays the job's (possibly compacted) durable lifecycle.
+	b := bus.New(bootToken())
+	q, err := queue.Open(cfg.queuePath, queue.Options{
+		MaxDepth:           cfg.maxDepth,
+		Weights:            cfg.weights,
+		DefaultWeight:      cfg.defWeight,
+		MaxInflight:        cfg.maxInflight,
+		DefaultMaxInflight: cfg.defMaxInfl,
+		CompactBytes:       cfg.compactBytes,
+		Observer: func(rec queue.Record) {
+			b.Publish(rec.ID, bus.Event{
+				Type: string(rec.State), Detail: rec.Detail, Time: rec.Time,
+			})
+		},
+	})
 	if err != nil {
 		return nil, err
+	}
+	st, err := store.Open(cfg.storePath)
+	if err != nil {
+		q.Close()
+		return nil, err
+	}
+	// Reap blobs orphaned by a crash between a store Put and the outcome
+	// record that would have referenced it.
+	live := make(map[string]bool)
+	for _, j := range q.Jobs() {
+		if j.Session != nil && j.Session.Result != "" {
+			live[j.Session.Result] = true
+		}
+	}
+	if removed, err := st.GC(func(d string) bool { return live[d] }); err != nil {
+		fmt.Fprintln(os.Stderr, "aigred: store gc:", err)
+	} else if removed > 0 {
+		fmt.Fprintf(os.Stderr, "aigred: store gc: removed %d unreferenced blobs\n", removed)
+	}
+	// The engine's supervision stream (attempts, incidents, retries,
+	// preemptions) feeds the same bus. Terminal journal events are skipped:
+	// the durable queue record is the authoritative end of a job's stream.
+	cfg.batch.OnEvent = func(ev aigre.JobEvent) {
+		switch ev.Event {
+		case "done", "fail", "cancel":
+			return
+		}
+		b.Publish(ev.Job, bus.Event{
+			Type: ev.Event, Attempt: ev.Attempt, Class: ev.Class,
+			Detail: ev.Detail, Time: ev.Time,
+		})
 	}
 	eng, err := aigre.NewEngine(ctx, cfg.batch)
 	if err != nil {
@@ -78,6 +142,8 @@ func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 	s := &server{
 		cfg:    cfg,
 		q:      q,
+		st:     st,
+		bus:    b,
 		eng:    eng,
 		lim:    newLimiter(cfg.rate, cfg.burst),
 		ctx:    ctx,
@@ -91,12 +157,78 @@ func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Pre-v1 flat routes, kept as deprecated aliases: same handlers, plus
+	// RFC 8594-style headers pointing clients at the successor.
+	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /jobs", deprecated("/v1/jobs", s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", deprecated("/v1/jobs/{id}", s.handleGet))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleStats))
 	return mux
+}
+
+// deprecated wraps a v1 handler for its legacy flat route, stamping the
+// response with deprecation headers so clients can find the successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// bootToken names one daemon incarnation; it prefixes every SSE event id so
+// resume can tell same-incarnation ids (exact) from older ones (replay).
+func bootToken() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("b%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// API error codes of the v1 JSON error envelope.
+const (
+	codeSaturated   = "saturated"
+	codeRateLimited = "rate_limited"
+	codeDraining    = "draining"
+	codeNotFound    = "not_found"
+	codeInvalidArg  = "invalid_argument"
+	codeNotReady    = "not_ready"
+	codeNoResult    = "no_result"
+	codeInternal    = "internal"
+)
+
+// apiError is the v1 error envelope body: {"error": {...}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS hints when retrying may succeed (rate limits,
+	// saturation, drain). Zero means retrying is pointless.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// writeErr emits the typed error envelope (and, when retryAfter is set, the
+// conventional Retry-After header for proxies and generic clients).
+func writeErr(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": {
+		Code: code, Message: msg, RetryAfterMS: retryAfter.Milliseconds(),
+	}})
 }
 
 func (s *server) serveHTTP(ln net.Listener) error {
@@ -206,6 +338,21 @@ func (s *server) runJob(spec *queue.Spec) {
 		if len(r.Incidents) > 0 {
 			s.degraded.Add(1)
 		}
+		// Persist the optimized network to the content-addressed store
+		// before the outcome record references it: a digest in the WAL
+		// never dangles. A crash after the Put but before the Resolve
+		// leaves an orphan blob, which the next startup's GC reaps.
+		if r.AIG != nil {
+			var buf bytes.Buffer
+			if werr := r.AIG.Write(&buf); werr != nil {
+				fmt.Fprintf(os.Stderr, "aigred: job %s: serialize result: %v\n", spec.ID, werr)
+			} else if digest, perr := s.st.Put(buf.Bytes()); perr != nil {
+				fmt.Fprintf(os.Stderr, "aigred: job %s: store result: %v\n", spec.ID, perr)
+			} else {
+				sess.Result = digest
+				sess.ResultBytes = buf.Len()
+			}
+		}
 		s.resolve(spec.ID, queue.Done, "", sess)
 	}
 }
@@ -217,6 +364,13 @@ func (s *server) resolve(id string, st queue.State, detail string, sess *queue.S
 	}
 	if s.cfg.verbose {
 		fmt.Fprintf(os.Stderr, "aigred: job %s: %s %s\n", id, st, detail)
+	}
+	// Terminal records are what bloat the WAL; check the live compaction
+	// threshold each time one lands.
+	if ran, err := s.q.MaybeCompact(); err != nil {
+		fmt.Fprintln(os.Stderr, "aigred: compact:", err)
+	} else if ran && s.cfg.verbose {
+		fmt.Fprintf(os.Stderr, "aigred: queue WAL compacted (%d bytes)\n", s.q.Stats().WALBytes)
 	}
 }
 
@@ -310,13 +464,13 @@ type submitRequest struct {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		w.Header().Set("Retry-After", "60")
-		http.Error(w, "draining: not accepting new jobs", http.StatusServiceUnavailable)
+		writeErr(w, http.StatusServiceUnavailable, codeDraining,
+			"draining: not accepting new jobs", time.Minute)
 		return
 	}
 	var req submitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		writeErr(w, http.StatusBadRequest, codeInvalidArg, "bad request body: "+err.Error(), 0)
 		return
 	}
 	client := req.Client
@@ -324,23 +478,22 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		client, _, _ = strings.Cut(r.RemoteAddr, ":")
 	}
 	if wait, ok := s.lim.allow(client, time.Now()); !ok {
-		w.Header().Set("Retry-After", strconv.Itoa(wait))
-		http.Error(w, "rate limit exceeded for client "+client, http.StatusTooManyRequests)
+		writeErr(w, http.StatusTooManyRequests, codeRateLimited,
+			"rate limit exceeded for client "+client, time.Duration(wait)*time.Second)
 		return
 	}
 	spec, err := validateSubmit(&req, s.cfg)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeErr(w, http.StatusBadRequest, codeInvalidArg, err.Error(), 0)
 		return
 	}
 	spec.Client = client
 	if err := s.q.Submit(*spec); err != nil {
 		if errors.Is(err, queue.ErrSaturated) {
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeErr(w, http.StatusServiceUnavailable, codeSaturated, err.Error(), time.Second)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeErr(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
 		return
 	}
 	// The submission record is on disk: the job now survives any crash.
@@ -407,7 +560,10 @@ func specBatch(spec *queue.Spec, cfg serverConfig) (aigre.Batch, error) {
 		opts.FaultPlans = append(opts.FaultPlans, plan)
 	}
 	return aigre.Batch{
-		Name:     spec.Name,
+		// The engine job is named by the queue id, not the user-chosen
+		// name: supervision events key by Batch.Name, and the id is what
+		// the event bus and SSE streams address jobs by.
+		Name:     spec.ID,
 		AIG:      n,
 		Script:   spec.Script,
 		Priority: spec.Priority,
@@ -480,8 +636,30 @@ func viewOf(j queue.Job) jobView {
 	}
 }
 
+// defaultListLimit bounds GET /v1/jobs when the client does not pass
+// ?limit=: a long-lived daemon accumulates terminal sessions without end.
+const defaultListLimit = 500
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.q.Jobs()
+	f := queue.Filter{Client: r.URL.Query().Get("client"), Limit: defaultListLimit}
+	if st := queue.State(r.URL.Query().Get("state")); st != "" {
+		if !st.Valid() {
+			writeErr(w, http.StatusBadRequest, codeInvalidArg,
+				fmt.Sprintf("unknown state %q", st), 0)
+			return
+		}
+		f.State = st
+	}
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, codeInvalidArg,
+				fmt.Sprintf("bad limit %q (want a positive integer)", lim), 0)
+			return
+		}
+		f.Limit = n
+	}
+	jobs := s.q.List(f)
 	views := make([]jobView, len(jobs))
 	for i, j := range jobs {
 		views[i] = viewOf(j)
@@ -492,16 +670,105 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.q.Get(r.PathValue("id"))
 	if !ok {
-		http.Error(w, "no such job", http.StatusNotFound)
+		writeErr(w, http.StatusNotFound, codeNotFound, "no such job", 0)
 		return
 	}
 	writeJSON(w, viewOf(j))
 }
 
+// handleResult serves a finished job's optimized AIGER from the blob store:
+// binary by default, JSON (with the payload base64-encoded) on request.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, codeNotFound, "no such job", 0)
+		return
+	}
+	if !j.State.Terminal() {
+		writeErr(w, http.StatusConflict, codeNotReady,
+			fmt.Sprintf("job is %s; results exist once the job is terminal", j.State), time.Second)
+		return
+	}
+	if j.Session == nil || j.Session.Result == "" {
+		writeErr(w, http.StatusNotFound, codeNoResult,
+			fmt.Sprintf("job ended %s with no stored result", j.State), 0)
+		return
+	}
+	data, err := s.st.Get(j.Session.Result)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, codeInternal,
+			"result blob missing from store: "+err.Error(), 0)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, map[string]any{
+			"id": id, "digest": j.Session.Result, "bytes": len(data), "aiger": data,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Aigred-Digest", j.Session.Result)
+	w.Write(data)
+}
+
+// handleEvents streams a job's lifecycle as Server-Sent Events: the durable
+// queue transitions interleaved with the engine's live supervision events.
+// A reconnecting client presents Last-Event-ID and the stream resumes with
+// no gap; the stream ends after the terminal queue event.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, codeNotFound, "no such job", 0)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, codeInternal,
+			"response writer cannot stream", 0)
+		return
+	}
+	last := r.Header.Get("Last-Event-ID")
+	if last == "" {
+		last = r.URL.Query().Get("last_event_id")
+	}
+	sub := s.bus.Subscribe(id, last)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case e, ok := <-sub.C:
+			if !ok {
+				// Overflow cut: the client reconnects with its last id.
+				return
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", e.ID, e.Type, data)
+			fl.Flush()
+			if queue.State(e.Type).Terminal() {
+				return // the durable outcome is the end of the stream
+			}
+		}
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	blobs, bytes, _ := s.st.Stats()
 	writeJSON(w, map[string]any{
 		"queue":    s.q.Stats(),
 		"engine":   s.eng.Metrics(),
+		"store":    map[string]any{"blobs": blobs, "bytes": bytes},
 		"draining": s.isDraining(),
 	})
 }

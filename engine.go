@@ -3,6 +3,7 @@ package aigre
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"aigre/internal/flow"
@@ -57,6 +58,17 @@ func NewEngine(ctx context.Context, opts BatchOptions) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("aigre: %w", err)
 		}
+	} else if opts.OnEvent != nil {
+		// No journal file wanted, but the live stream still needs the
+		// supervisor to emit entries somewhere observable.
+		jour = journal.New(io.Discard)
+	}
+	if opts.OnEvent != nil {
+		fn := opts.OnEvent
+		jour.Observe(func(e journal.Entry) {
+			fn(JobEvent{Job: e.Job, Attempt: e.Attempt, Event: e.Event,
+				Class: e.Class, Detail: e.Detail, Backoff: e.Backoff, Time: e.Time})
+		})
 	}
 	e := &Engine{opts: opts, jour: jour}
 	if opts.SharedCache != nil {

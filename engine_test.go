@@ -3,6 +3,7 @@ package aigre_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -133,5 +134,47 @@ func TestEngineShutdownDrains(t *testing.T) {
 	}
 	if _, err := e.Submit(context.Background(), queued); !errors.Is(err, sched.ErrClosed) {
 		t.Fatalf("Submit after Shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineOnEvent checks the live supervision stream: with no journal
+// file configured, BatchOptions.OnEvent still receives the attempt and
+// outcome events of every submitted job, in order, keyed by Batch.Name.
+func TestEngineOnEvent(t *testing.T) {
+	var mu sync.Mutex
+	var events []aigre.JobEvent
+	e, err := aigre.NewEngine(context.Background(), aigre.BatchOptions{
+		Workers: 2,
+		OnEvent: func(ev aigre.JobEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := e.Submit(context.Background(), aigre.Batch{
+		Name: "evjob", AIG: aigre.FromInternal(bench.Adder(8)), Script: "b; rw",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tk.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	e.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	var kinds []string
+	for _, ev := range events {
+		if ev.Job != "evjob" {
+			t.Fatalf("event for unexpected job %q: %+v", ev.Job, ev)
+		}
+		kinds = append(kinds, ev.Event)
+	}
+	if len(kinds) < 2 || kinds[0] != "attempt" || kinds[len(kinds)-1] != "done" {
+		t.Fatalf("event stream %v, want attempt ... done", kinds)
 	}
 }

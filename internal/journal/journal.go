@@ -71,6 +71,8 @@ type Journal struct {
 	f    *os.File // non-nil when the journal owns the file
 	sync bool     // fsync after every append
 	seq  int64
+	size int64       // bytes in the journal (file length when it owns one)
+	obs  func(Entry) // observer of appended entries, under mu
 }
 
 // Create opens (creating or appending to) a journal file at path. Appends
@@ -81,7 +83,11 @@ func Create(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Journal{w: f, f: f}, nil
+	j := &Journal{w: f, f: f}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	return j, nil
 }
 
 // CreateSync is Create with fsync-on-append: every Append and AppendRecord
@@ -100,6 +106,35 @@ func CreateSync(path string) (*Journal, error) {
 // New wraps an arbitrary writer (a buffer in tests, a pipe in a daemon).
 func New(w io.Writer) *Journal {
 	return &Journal{w: w}
+}
+
+// Observe registers fn to be called with every Entry the journal appends
+// (after it is stamped and durably written, honoring the journal's sync
+// mode). The callback runs under the journal's lock, so entries are observed
+// in append order exactly once; it must not call back into the journal.
+// This is the live half of the supervision stream: the file is the durable
+// record, the observer feeds in-process subscribers such as the daemon's
+// event bus. A nil journal ignores the call.
+func (j *Journal) Observe(fn func(Entry)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.obs = fn
+	j.mu.Unlock()
+}
+
+// Size returns the journal's size in bytes: the underlying file's length
+// when the journal owns one (including pre-existing records it was appending
+// to), otherwise the bytes written through this journal. A nil journal has
+// size 0. Write-ahead users poll this for compaction thresholds.
+func (j *Journal) Size() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // Append stamps the entry with the next sequence number and the current time
@@ -129,7 +164,13 @@ func (j *Journal) append(e Entry, sync bool) error {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
-	return j.appendLocked(e, sync)
+	if err := j.appendLocked(e, sync); err != nil {
+		return err
+	}
+	if j.obs != nil {
+		j.obs(e)
+	}
+	return nil
 }
 
 // AppendRecord writes an arbitrary record as one JSON line, with the same
@@ -156,6 +197,7 @@ func (j *Journal) appendLocked(v any, sync bool) error {
 	if _, err := j.w.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	j.size += int64(len(line))
 	if (sync || j.sync) && j.f != nil {
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)

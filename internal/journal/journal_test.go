@@ -292,3 +292,54 @@ func TestAppendToBuffer(t *testing.T) {
 		t.Fatalf("unexpected entries: %+v", got)
 	}
 }
+
+// TestObserveAndSize checks the live-stream hook and byte accounting: every
+// appended entry reaches the observer exactly once, in order, already
+// stamped; Size tracks the file length, including records that predate the
+// current journal handle.
+func TestObserveAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Entry
+	j.Observe(func(e Entry) { seen = append(seen, e) })
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Entry{Job: "a", Attempt: i + 1, Event: EventAttempt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("observer saw %d entries, want 3", len(seen))
+	}
+	for i, e := range seen {
+		if e.Seq != int64(i+1) || e.Time.IsZero() || e.Attempt != i+1 {
+			t.Errorf("observed entry %d not stamped in order: %+v", i, e)
+		}
+	}
+	sz := j.Size()
+	if sz <= 0 {
+		t.Fatalf("Size = %d after 3 appends", sz)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != sz {
+		t.Fatalf("Size = %d, file length %v (err %v)", sz, st.Size(), err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening the same file seeds Size from the existing length.
+	j2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Size() != sz {
+		t.Fatalf("reopened Size = %d, want %d", j2.Size(), sz)
+	}
+	var nilJ *Journal
+	nilJ.Observe(func(Entry) {})
+	if nilJ.Size() != 0 {
+		t.Fatal("nil journal has nonzero size")
+	}
+}

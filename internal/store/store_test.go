@@ -1,0 +1,177 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPutGetRoundTrip checks the basic contract: Put returns the SHA-256
+// digest, Get returns the exact bytes, Has agrees, and a missing or
+// malformed digest is an os.ErrNotExist.
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	data := []byte("aig 3 1 0 1 2\n")
+	digest, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != Digest(data) || len(digest) != 64 {
+		t.Fatalf("digest %q", digest)
+	}
+	got, err := s.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	if !s.Has(digest) {
+		t.Error("Has = false for stored blob")
+	}
+	missing := Digest([]byte("other"))
+	if _, err := s.Get(missing); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing blob: %v, want ErrNotExist", err)
+	}
+	for _, bad := range []string{"", "xyz", "../../../etc/passwd", digest[:10]} {
+		if _, err := s.Get(bad); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("bad digest %q: %v, want ErrNotExist", bad, err)
+		}
+		if s.Has(bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+	}
+}
+
+// TestPutDedup checks that identical contents share one blob: the second Put
+// returns the same digest without growing the store.
+func TestPutDedup(t *testing.T) {
+	s := openTemp(t)
+	data := []byte("same contents")
+	d1, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Put(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digests differ: %s vs %s", d1, d2)
+	}
+	blobs, size, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blobs != 1 || size != int64(len(data)) {
+		t.Fatalf("stats after dedup: %d blobs, %d bytes", blobs, size)
+	}
+}
+
+// TestSurvivesReopen checks the durability shape: a fresh Store over the
+// same directory serves blobs written by the previous one.
+func TestSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := s1.Put([]byte("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(digest)
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+}
+
+// TestGC checks that unreferenced blobs and abandoned temp files are
+// removed while referenced blobs survive.
+func TestGC(t *testing.T) {
+	s := openTemp(t)
+	keep, err := s.Put([]byte("referenced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := s.Put([]byte("orphaned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An abandoned temp file, as a crash mid-Put would leave behind.
+	stray := filepath.Join(s.dir, keep[:2], "tmp-dead-123")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC(func(d string) bool { return d == keep })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("GC removed %d, want 2 (orphan + temp)", removed)
+	}
+	if !s.Has(keep) {
+		t.Error("referenced blob removed")
+	}
+	if s.Has(drop) {
+		t.Error("orphaned blob survived")
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file survived GC")
+	}
+}
+
+// TestConcurrentPut hammers Put from many goroutines — duplicates and
+// distinct blobs interleaved — and checks every digest resolves.
+func TestConcurrentPut(t *testing.T) {
+	s := openTemp(t)
+	var wg sync.WaitGroup
+	digests := make([]string, 64)
+	for i := range digests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := []byte(fmt.Sprintf("blob-%d", i%8)) // 8 distinct contents
+			d, err := s.Put(data)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			digests[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range digests {
+		got, err := s.Get(d)
+		if err != nil {
+			t.Fatalf("digest %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("blob-%d", i%8); string(got) != want {
+			t.Fatalf("digest %d: %q, want %q", i, got, want)
+		}
+	}
+	blobs, _, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blobs != 8 {
+		t.Fatalf("stats: %d blobs, want 8 after dedup", blobs)
+	}
+}

@@ -44,15 +44,30 @@ echo "chaos gate seed: $CHAOS_SEED"
 go test -race -count=1 -run 'TestChaosBatchSupervision' -chaos-seed="$CHAOS_SEED" .
 # Supervision/journal concurrency, explicitly, under -race.
 go test -race -count=1 -run 'TestConcurrentIncidentAppendStress|TestConcurrentAppend' ./internal/sched/ ./internal/journal/
-# Durable queue: WAL replay reconstruction, torn-record tolerance, and the
-# concurrent lease/resolve stress with exactly-once cross-checks, under -race.
+# Durable queue: WAL replay reconstruction, torn-record tolerance, the
+# concurrent lease/resolve stress with exactly-once cross-checks, the
+# weighted-fair leasing properties, and the compaction suite (shrink +
+# equivalent replay, crash-during-compaction stale-temp recovery, live
+# threshold), under -race.
 go test -race -count=1 ./internal/queue/
+go test -race -count=1 -run 'TestWeightedFairLeasing|TestIdleClientDoesNotBankCredit|TestCompactShrinksAndReplaysEquivalently|TestCrashDuringCompactionIgnoresStaleTemp' ./internal/queue/
+# Daemon v1 surface: the event bus (resume, overflow), the content-addressed
+# result store (dedup, GC, digest validation), and the typed Go client (SSE
+# parsing, error envelope, poll fallback), under -race.
+go test -race -count=1 ./internal/bus/ ./internal/store/ ./client/
+# v1 API e2e: SSE streaming with Last-Event-ID exact-suffix resume, result
+# retrieval with digest checks, list filters, error envelope, deprecation
+# headers on the flat aliases.
+go test -race -count=1 -run 'TestSSEResume|TestResultEndpoint|TestListFilters|TestErrorEnvelope|TestV1RoutesAndDeprecation' ./cmd/aigred/
 # Daemon smoke gate: the aigred e2e pair — crash the daemon mid-batch with
 # jobs leased (hard os.Exit, no checkpoint), restart against the same queue
 # file, and assert every job reaches exactly one terminal state with no
-# re-execution of completed work; then SIGTERM a daemon with a job in
-# flight and assert the drain finishes it, 503s new submissions, leaves the
-# backlog durably pending, and exits 0.
+# re-execution of completed work, the restart-forced compaction shrinks the
+# WAL, every completed job's result is still retrievable from the store,
+# and the SSE stream resumes across a disconnect with no gap; then SIGTERM
+# a daemon with a job in flight and assert the drain finishes it, refuses
+# new submissions with the typed draining error, leaves the backlog durably
+# pending, and exits 0.
 go test -race -count=1 -run 'TestDaemonCrashRecovery|TestDaemonDrainSmoke' ./cmd/aigred/
 # Fuzz smoke: the AIGER parser must never panic on arbitrary input.
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s ./internal/aiger/
