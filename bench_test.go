@@ -271,13 +271,14 @@ func deepNarrowCase(b *testing.B) *aig.AIG {
 	return deepNarrowMillion.a
 }
 
-// BenchmarkPartitionMillionW1/W8 measure partition-parallel optimization of
-// a million-node AIG at one vs eight workers (the BENCH_6.json speedup
-// artifact): same split into eight ~128k-node cone partitions, the worker
-// budget alone varies. ns/op shows the wall speedup on multicore hosts; the
-// queued-ns/op metric (total time partitions sat waiting for a worker)
-// captures the same scaling even on hosts with fewer cores than workers,
-// where wall time cannot improve.
+// BenchmarkPartitionMillionW1/W2/W4/W8 measure partition-parallel
+// optimization of a million-node AIG across worker budgets (the BENCH_N.json
+// scaling artifact): same split into eight ~128k-node cone partitions, the
+// worker budget alone varies. ns/op shows the wall speedup on multicore
+// hosts — bench.sh derives speedup and parallel-efficiency columns from the
+// W-row ratios — and the queued-ns/op metric (total time partitions sat
+// waiting for a worker) captures the same scaling even on hosts with fewer
+// cores than workers, where wall time cannot improve.
 func benchPartitionMillion(b *testing.B, workers int) {
 	n := aigre.FromInternal(deepNarrowCase(b))
 	var queued, jobWall time.Duration
@@ -307,4 +308,6 @@ func benchPartitionMillion(b *testing.B, workers int) {
 }
 
 func BenchmarkPartitionMillionW1(b *testing.B) { benchPartitionMillion(b, 1) }
+func BenchmarkPartitionMillionW2(b *testing.B) { benchPartitionMillion(b, 2) }
+func BenchmarkPartitionMillionW4(b *testing.B) { benchPartitionMillion(b, 4) }
 func BenchmarkPartitionMillionW8(b *testing.B) { benchPartitionMillion(b, 8) }

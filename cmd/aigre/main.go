@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -73,6 +75,8 @@ func main() {
 		partRnds = flag.Int("partition-rounds", 0, "max seam-conflict rollback rounds before full rollback (0 = 2)")
 		verify   = flag.Bool("verify", false, "full per-command equivalence gate during script runs (default: sampling gate)")
 		inject   = flag.String("inject", "", "inject a deterministic fault: \"kernel-pattern:N:panic\", \"...:corrupt\", or \"...:stall\" (chaos testing, parallel mode)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 		cecFlag  = flag.Bool("cec", false, "verify equivalence of the result against the input")
 		cecWith  = flag.String("cec-with", "", "check equivalence of -in against this AIGER file and exit")
 		verbose  = flag.Bool("v", false, "print per-command statistics")
@@ -116,6 +120,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aigre: -retries must be >= 0 (got %d)\n", *retries)
 		os.Exit(2)
 	}
+	// Profiles must be written on every exit path, and main exits through
+	// os.Exit (which skips defers) — route all exits through finishProfiles.
+	fatal(startProfiles(*cpuProf, *memProf))
 	if *batch != "" {
 		opts := aigre.Options{
 			Parallel:  *parallel,
@@ -152,7 +159,7 @@ func main() {
 		if *shCache {
 			bopts.SharedCache = aigre.NewCache()
 		}
-		os.Exit(runBatch(ctx, *batch, *outdir, *report, bopts, opts))
+		exit(runBatch(ctx, *batch, *outdir, *report, bopts, opts))
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "aigre: -in is required (or -batch)")
@@ -177,9 +184,10 @@ func main() {
 		fatal(err)
 		if !eq {
 			fmt.Fprintln(msg, "cec:     NOT equivalent")
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintln(msg, "cec:     equivalent")
+		finishProfiles()
 		return
 	}
 
@@ -276,7 +284,7 @@ func main() {
 		fatal(err)
 		if !eq {
 			fmt.Fprintln(os.Stderr, "aigre: EQUIVALENCE CHECK FAILED")
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintln(msg, "cec:     equivalent")
 	}
@@ -284,6 +292,7 @@ func main() {
 		fatal(cur.WriteFile(*out))
 		fmt.Fprintln(msg, "wrote:  ", *out)
 	}
+	finishProfiles()
 	if degraded {
 		os.Exit(3)
 	}
@@ -405,6 +414,58 @@ func parseInject(s string) (gpu.FaultPlan, error) {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aigre:", err)
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// Profiling state for -cpuprofile/-memprofile. main exits through os.Exit on
+// most paths (which skips defers), so every such path goes through exit(),
+// which flushes the profiles first.
+var (
+	cpuProfFile *os.File
+	memProfPath string
+)
+
+func startProfiles(cpu, mem string) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuProfFile = f
+	}
+	memProfPath = mem
+	return nil
+}
+
+func finishProfiles() {
+	if cpuProfFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfFile.Close()
+		cpuProfFile = nil
+	}
+	if memProfPath != "" {
+		path := memProfPath
+		memProfPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigre:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live-heap numbers
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "aigre:", err)
+		}
+	}
+}
+
+// exit flushes any requested profiles, then terminates with code.
+func exit(code int) {
+	finishProfiles()
+	os.Exit(code)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -164,6 +165,15 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Live profiling of a running daemon: the standard net/http/pprof
+	// handlers, registered explicitly (the package's init registers on
+	// http.DefaultServeMux, which this server does not use). CPU profiles of
+	// in-flight jobs carry the engine's sched_job / partition_phase labels.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	// Pre-v1 flat routes, kept as deprecated aliases: same handlers, plus
 	// RFC 8594-style headers pointing clients at the successor.
 	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", s.handleSubmit))

@@ -104,6 +104,28 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestDebugPprofEndpoints checks that the profiling mux is reachable: the
+// index and the cheap text endpoints respond 200 on the daemon's own mux
+// (net/http/pprof's init only registers on http.DefaultServeMux).
+func TestDebugPprofEndpoints(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/symbol",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 // TestSubmitRunsJob is the in-process round trip: a valid submission is
 // acknowledged 202 with an id, runs to done, and its session becomes
 // queryable (without the AIGER payload echoed back).

@@ -81,11 +81,11 @@ type AIG struct {
 	pos    []Lit // primary output literals
 
 	// optional features
-	strash  map[uint64]int32 // (fanin0,fanin1) -> node id
-	fanouts [][]int32        // node id -> fanout node ids (POs not included)
-	nPORefs []int32          // node id -> number of POs referencing it
-	deleted []bool           // node id -> node has been removed (in-place editing)
-	numDead int32            // number of deleted AND nodes
+	strash  *strashTable // (fanin0,fanin1) -> node id (see strash.go)
+	fanouts [][]int32    // node id -> fanout node ids (POs not included)
+	nPORefs []int32      // node id -> number of POs referencing it
+	deleted []bool       // node id -> node has been removed (in-place editing)
+	numDead int32        // number of deleted AND nodes
 }
 
 // New creates an AIG with numPIs primary inputs and no AND nodes.
@@ -207,21 +207,12 @@ func HashKey(k uint64) uint64 {
 	return k
 }
 
-// EnableStrash builds the structural-hashing table for the current nodes.
-// Subsequent NewAnd calls reuse existing nodes with identical fanin pairs.
-// If duplicate pairs already exist, the first occurrence wins.
-func (a *AIG) EnableStrash() {
-	a.strash = make(map[uint64]int32, len(a.fanin0))
-	for id := a.numPIs + 1; int(id) < len(a.fanin0); id++ {
-		if a.IsDeleted(id) {
-			continue
-		}
-		k := Key(a.fanin0[id], a.fanin1[id])
-		if _, ok := a.strash[k]; !ok {
-			a.strash[k] = id
-		}
-	}
-}
+// EnableStrash builds the structural-hashing table for the current nodes,
+// pre-sized for the network's remaining append capacity (strash.go documents
+// the sizing discipline). Subsequent NewAnd calls reuse existing nodes with
+// identical fanin pairs. If duplicate pairs already exist, the first
+// occurrence wins.
+func (a *AIG) EnableStrash() { a.enableStrash() }
 
 // HasStrash reports whether structural hashing is enabled.
 func (a *AIG) HasStrash() bool { return a.strash != nil }
@@ -237,7 +228,7 @@ func (a *AIG) Lookup(f0, f1 Lit) (Lit, bool) {
 	if a.strash == nil {
 		return 0, false
 	}
-	if id, ok := a.strash[Key(f0, f1)]; ok && !a.IsDeleted(id) {
+	if id, ok := a.strash.get(Key(f0, f1)); ok && !a.IsDeleted(id) {
 		return MakeLit(id, false), true
 	}
 	return 0, false
@@ -275,13 +266,13 @@ func (a *AIG) NewAnd(f0, f1 Lit) Lit {
 		f0, f1 = f1, f0
 	}
 	if a.strash != nil {
-		if id, ok := a.strash[Key(f0, f1)]; ok && !a.IsDeleted(id) {
+		if id, ok := a.strash.get(Key(f0, f1)); ok && !a.IsDeleted(id) {
 			return MakeLit(id, false)
 		}
 	}
 	id := a.addAndRaw(f0, f1)
 	if a.strash != nil {
-		a.strash[Key(f0, f1)] = id
+		a.strash.set(Key(f0, f1), id)
 	}
 	return MakeLit(id, false)
 }

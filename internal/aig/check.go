@@ -116,18 +116,23 @@ func (a *AIG) checkAcyclic() error {
 // non-AND object, and a node's recorded key must match its actual fanins —
 // a mismatch means lookups would alias distinct functions.
 func (a *AIG) checkStrash() error {
-	for k, id := range a.strash {
+	var err error
+	a.strash.forEach(func(k uint64, id int32) {
+		if err != nil {
+			return
+		}
 		if !a.IsAnd(id) {
-			return fmt.Errorf("aig: strash key %#x names non-AND object %d", k, id)
+			err = fmt.Errorf("aig: strash key %#x names non-AND object %d", k, id)
+			return
 		}
 		if a.IsDeleted(id) {
-			continue
+			return
 		}
 		if got := Key(a.fanin0[id], a.fanin1[id]); got != k {
-			return fmt.Errorf("aig: strash key %#x names node %d whose fanin key is %#x", k, id, got)
+			err = fmt.Errorf("aig: strash key %#x names node %d whose fanin key is %#x", k, id, got)
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 // checkFanouts verifies that fanout lists and PO reference counts agree with

@@ -47,10 +47,7 @@ func (a *AIG) replaceOne(old int32, new Lit, stack []replPair) []replPair {
 		// (its last reference sat inside a removed cone). Keep old as the
 		// surviving copy and re-register its key, which the duplicate merge
 		// had ceded to the now-deleted node.
-		k := Key(a.fanin0[old], a.fanin1[old])
-		if _, ok := a.strash[k]; !ok {
-			a.strash[k] = old
-		}
+		a.strash.setIfAbsent(Key(a.fanin0[old], a.fanin1[old]), old)
 		return stack
 	}
 	// Redirect AND fanouts. Iterate over a snapshot: patchFanin mutates the
@@ -97,10 +94,7 @@ func (a *AIG) patchFanin(f, old int32, new Lit, stack []replPair) []replPair {
 		nf0, nf1 = nf1, nf0
 	}
 	// Unhook the old key and fanout edges.
-	oldKey := Key(of0, of1)
-	if id, ok := a.strash[oldKey]; ok && id == f {
-		delete(a.strash, oldKey)
-	}
+	a.strash.delIf(Key(of0, of1), f)
 	a.removeFanout(of0.Var(), f)
 	a.removeFanout(of1.Var(), f)
 	// Hook up the new fanins.
@@ -114,11 +108,11 @@ func (a *AIG) patchFanin(f, old int32, new Lit, stack []replPair) []replPair {
 		return append(stack, replPair{f, lit})
 	}
 	newKey := Key(nf0, nf1)
-	if g, ok := a.strash[newKey]; ok && g != f && !a.IsDeleted(g) {
+	if g, ok := a.strash.get(newKey); ok && g != f && !a.IsDeleted(g) {
 		// f became a structural duplicate of g.
 		return append(stack, replPair{f, MakeLit(g, false)})
 	}
-	a.strash[newKey] = f
+	a.strash.set(newKey, f)
 	return stack
 }
 
@@ -137,10 +131,7 @@ func (a *AIG) deleteCone(root int32) {
 			continue
 		}
 		f0, f1 := a.fanin0[cur], a.fanin1[cur]
-		k := Key(f0, f1)
-		if id, ok := a.strash[k]; ok && id == cur {
-			delete(a.strash, k)
-		}
+		a.strash.delIf(Key(f0, f1), cur)
 		a.removeFanout(f0.Var(), cur)
 		a.removeFanout(f1.Var(), cur)
 		a.deleted[cur] = true

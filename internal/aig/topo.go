@@ -280,6 +280,7 @@ func (a *AIG) Rehash() *AIG {
 		out.AddPO(mp[p.Var()].NotCond(p.IsCompl()))
 	}
 	final, _ := out.Compact()
+	out.ReleaseStrash()
 	return final
 }
 

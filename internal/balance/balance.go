@@ -12,7 +12,7 @@
 package balance
 
 import (
-	"sort"
+	"slices"
 
 	"aigre/internal/aig"
 )
@@ -34,9 +34,12 @@ type item struct {
 
 // combineInputs reduces a set of balanced inputs to a single literal by
 // iteratively ANDing the two smallest-delay items (Huffman-style), creating
-// nodes through mk. It assumes inputs has already been deduplicated.
-func combineInputs(inputs []item, mk func(f0, f1 aig.Lit) aig.Lit) item {
-	h := heapOf(inputs)
+// nodes through mk. It assumes inputs has already been deduplicated. h is
+// caller-owned heap scratch, rebound to inputs in place so the per-subtree
+// heap costs no allocation.
+func combineInputs(inputs []item, h *itemHeap, mk func(f0, f1 aig.Lit) aig.Lit) item {
+	h.s = inputs
+	h.heapify()
 	for h.len() > 1 {
 		a := h.pop()
 		b := h.pop()
@@ -51,7 +54,15 @@ func combineInputs(inputs []item, mk func(f0, f1 aig.Lit) aig.Lit) item {
 // collapses to a single literal or constant, it returns (nil, that item,
 // true).
 func normalizeInputs(items []item) ([]item, item, bool) {
-	sort.Slice(items, func(i, j int) bool { return items[i].lit < items[j].lit })
+	slices.SortFunc(items, func(a, b item) int {
+		if a.lit < b.lit {
+			return -1
+		}
+		if a.lit > b.lit {
+			return 1
+		}
+		return 0
+	})
 	out := items[:0]
 	for _, it := range items {
 		if it.lit == aig.ConstTrue {
@@ -123,8 +134,19 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 		raw  []aig.Lit // subtree inputs (original literals)
 		next int       // inputs resolved so far
 	}
+	// Allocation discipline: balancing visits ~one subtree per AND node, and
+	// a fresh raw slice, item slice, heap box, and NewAnd method value per
+	// subtree made this loop the dominant allocation site of the whole
+	// partition-parallel flow (~84% of allocs/op on the million-node bench).
+	// raw slices cycle through a freelist (frames at different depths hold
+	// theirs concurrently), while the item buffer and heap are singletons —
+	// only the top frame reduces at any moment, and nothing retains them.
 	var stack []frame
 	var gstack []int32
+	var rawFree [][]aig.Lit
+	var itemsBuf []item
+	var heap itemHeap
+	mk := out.NewAnd
 	balance := func(root int32) item {
 		if done[root] {
 			return memo[root]
@@ -134,7 +156,14 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 			f := &stack[len(stack)-1]
 			if f.raw == nil {
 				st.Subtrees++
-				f.raw, gstack = gatherSubtree(a, refs, f.id, make([]aig.Lit, 0, 4), gstack)
+				raw := []aig.Lit(nil)
+				if n := len(rawFree); n > 0 {
+					raw = rawFree[n-1][:0]
+					rawFree = rawFree[:n-1]
+				} else {
+					raw = make([]aig.Lit, 0, 8)
+				}
+				f.raw, gstack = gatherSubtree(a, refs, f.id, raw, gstack)
 			}
 			// Resolve remaining inputs, descending where needed.
 			descended := false
@@ -150,20 +179,21 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 			if descended {
 				continue
 			}
-			items := make([]item, len(f.raw))
-			for i, rl := range f.raw {
+			itemsBuf = itemsBuf[:0]
+			for _, rl := range f.raw {
 				m := memo[rl.Var()]
-				items[i] = item{delay: m.delay, lit: m.lit.NotCond(rl.IsCompl())}
+				itemsBuf = append(itemsBuf, item{delay: m.delay, lit: m.lit.NotCond(rl.IsCompl())})
 			}
-			reduced, single, collapsed := normalizeInputs(items)
+			reduced, single, collapsed := normalizeInputs(itemsBuf)
 			var res item
 			if collapsed {
 				res = single
 			} else {
-				res = combineInputs(reduced, out.NewAnd)
+				res = combineInputs(reduced, &heap, mk)
 			}
 			memo[f.id] = res
 			done[f.id] = true
+			rawFree = append(rawFree, f.raw)
 			stack = stack[:len(stack)-1]
 		}
 		return memo[root]
@@ -174,6 +204,7 @@ func Sequential(a *aig.AIG) (*aig.AIG, Stats) {
 		out.AddPO(m.lit.NotCond(p.IsCompl()))
 	}
 	final, _ := out.Compact()
+	out.ReleaseStrash()
 	st.NodesAfter = final.NumAnds()
 	st.LevelsAfter = final.Levels()
 	return final, st

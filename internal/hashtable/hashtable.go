@@ -144,6 +144,58 @@ func (t *Table) InsertUnique(key uint64, val uint32) (uint32, bool, error) {
 	return invalidVal, false, ErrTableFull
 }
 
+// InsertMin inserts (key, val) if key is absent; when key is present it
+// lowers the stored value to min(stored, val). Unlike InsertUnique's
+// first-caller-wins race, the winning value is determined by the values
+// alone, so a batch of concurrent InsertMin calls leaves the table in a
+// state independent of scheduling — the deterministic-merge primitive of
+// the parallel seam stitcher (the minimum node id in a batch of structural
+// duplicates wins, matching a sequential first-encounter replay of the same
+// batch). Returns ErrTableFull exactly as InsertUnique does.
+func (t *Table) InsertMin(key uint64, val uint32) error {
+	if key == emptyKey {
+		panic("hashtable: zero key is reserved")
+	}
+	if val == invalidVal {
+		panic("hashtable: invalid value")
+	}
+	i := aig.HashKey(key) & t.mask
+	for probes := 0; probes <= len(t.keys); probes++ {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == emptyKey {
+			if atomic.AddInt64(&t.n, 1) >= int64(len(t.keys)) {
+				atomic.AddInt64(&t.n, -1)
+				return ErrTableFull
+			}
+			if atomic.CompareAndSwapUint64(&t.keys[i], emptyKey, key) {
+				atomic.StoreUint32(&t.vals[i], val)
+				return nil
+			}
+			atomic.AddInt64(&t.n, -1) // lost the slot race; release the claim
+			k = atomic.LoadUint64(&t.keys[i])
+		}
+		if k == key {
+			for {
+				cur := atomic.LoadUint32(&t.vals[i])
+				if cur == invalidVal {
+					// The slot claimant has not yet published its value; the
+					// only transition out of invalidVal is that publication,
+					// so spin rather than race its plain store.
+					continue
+				}
+				if cur <= val {
+					return nil
+				}
+				if atomic.CompareAndSwapUint32(&t.vals[i], cur, val) {
+					return nil
+				}
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+	return ErrTableFull
+}
+
 // waitVal spins until the slot's value has been published by the inserting
 // thread. The window between the key CAS and the value store is a few
 // instructions, so the spin is effectively bounded.

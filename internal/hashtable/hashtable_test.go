@@ -104,6 +104,71 @@ func TestConcurrentInsertUniqueWinner(t *testing.T) {
 	}
 }
 
+// TestConcurrentInsertMinDeterministic drives the parallel stitcher's merge
+// primitive from many racing goroutines: whatever the scheduling, every key
+// must end at the minimum value any thread offered — the property that makes
+// a batch of InsertMin calls equivalent to a sequential first-encounter
+// replay of the same batch.
+func TestConcurrentInsertMinDeterministic(t *testing.T) {
+	ht := New(4096)
+	const goroutines = 8
+	const keys = 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			// Visit the keys in a per-thread order so slot claims and CAS-min
+			// races interleave differently every run.
+			for _, k := range rng.Perm(keys) {
+				if err := ht.InsertMin(uint64(k+1), uint32((g+1)*10_000+k)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		want := uint32(10_000 + k) // goroutine 0's offer is the global minimum
+		if v, ok := ht.Query(uint64(k + 1)); !ok || v != want {
+			t.Fatalf("key %d -> (%d,%v), want %d", k+1, v, ok, want)
+		}
+	}
+	if ht.Len() != keys {
+		t.Errorf("Len = %d, want %d", ht.Len(), keys)
+	}
+}
+
+// TestInsertMinFull checks that InsertMin degrades exactly like InsertUnique:
+// ErrTableFull for new keys on a full table, while lowering present keys
+// still succeeds.
+func TestInsertMinFull(t *testing.T) {
+	ht := New(4)
+	cap := ht.Cap()
+	var inserted []uint64
+	for k := uint64(1); ; k++ {
+		if err := ht.InsertMin(k, uint32(k)); err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		inserted = append(inserted, k)
+		if len(inserted) > cap {
+			t.Fatal("table never filled")
+		}
+	}
+	if err := ht.InsertMin(inserted[0], 0); err != nil {
+		t.Errorf("lowering a present key on a full table failed: %v", err)
+	}
+	if v, _ := ht.Query(inserted[0]); v != 0 {
+		t.Errorf("value not lowered: %d", v)
+	}
+}
+
 // TestTableFullReturnsError checks the typed degradation path: a table at
 // capacity must return ErrTableFull for new keys (never panic), while
 // lookups of present keys still succeed.

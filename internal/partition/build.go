@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aigre/internal/aig"
+	"aigre/internal/sched"
 )
 
 // part is one partition of the base network, described in base node ids.
@@ -208,36 +209,50 @@ func buildWindows(a *aig.AIG, target int) []*part {
 // and whose POs export first the outputs (regular polarity), then the
 // original PO literals of poIdx. The extracted cone doubles as the
 // checkpoint the partition rolls back to.
-func extractAll(base *aig.AIG, parts []*part) []*aig.AIG {
-	local := make([]aig.Lit, base.NumObjs())
-	epoch := make([]int32, base.NumObjs())
+//
+// Extraction is a pure read of the base network, so the partitions fan out
+// over the pool; each task's translation scratch comes from the shared
+// free-lists (one dirty literal array gated by a zeroed seen array, the same
+// epoch discipline the sequential version used).
+func extractAll(base *aig.AIG, parts []*part, pool *sched.Pool) []*aig.AIG {
+	nobj := base.NumObjs()
 	cones := make([]*aig.AIG, len(parts))
-	for pi, p := range parts {
-		e := int32(pi + 1)
-		c := aig.NewCap(len(p.inputs), len(p.inputs)+1+len(p.members))
-		c.Name = fmt.Sprintf("%s.part%d", base.Name, pi)
-		local[0], epoch[0] = aig.ConstFalse, e
-		for j, in := range p.inputs {
-			local[in], epoch[in] = c.PI(j), e
-		}
-		at := func(f aig.Lit) aig.Lit {
-			if epoch[f.Var()] != e {
-				panic(fmt.Sprintf("partition: part %d member references unextracted node %d", pi, f.Var()))
+	tasks := make([]func(), len(parts))
+	for pi := range parts {
+		pi, p := pi, parts[pi]
+		tasks[pi] = func() {
+			local := pLitPool.Get(nobj)
+			seen := pI32Pool.GetZeroed(nobj)
+			defer func() {
+				pLitPool.Put(local)
+				pI32Pool.Put(seen)
+			}()
+			c := aig.NewCap(len(p.inputs), len(p.inputs)+1+len(p.members))
+			c.Name = fmt.Sprintf("%s.part%d", base.Name, pi)
+			local[0], seen[0] = aig.ConstFalse, 1
+			for j, in := range p.inputs {
+				local[in], seen[in] = c.PI(j), 1
 			}
-			return local[f.Var()].NotCond(f.IsCompl())
+			at := func(f aig.Lit) aig.Lit {
+				if seen[f.Var()] == 0 {
+					panic(fmt.Sprintf("partition: part %d member references unextracted node %d", pi, f.Var()))
+				}
+				return local[f.Var()].NotCond(f.IsCompl())
+			}
+			for _, id := range p.members {
+				lit := c.AddAndUnchecked(at(base.Fanin0(id)), at(base.Fanin1(id)))
+				local[id], seen[id] = lit, 1
+			}
+			for _, outID := range p.outputs {
+				c.AddPO(local[outID])
+			}
+			for _, po := range p.poIdx {
+				l := base.PO(po)
+				c.AddPO(at(l))
+			}
+			cones[pi] = c
 		}
-		for _, id := range p.members {
-			lit := c.AddAndUnchecked(at(base.Fanin0(id)), at(base.Fanin1(id)))
-			local[id], epoch[id] = lit, e
-		}
-		for _, outID := range p.outputs {
-			c.AddPO(local[outID])
-		}
-		for _, po := range p.poIdx {
-			l := base.PO(po)
-			c.AddPO(at(l))
-		}
-		cones[pi] = c
 	}
+	pool.Execute(tasks)
 	return cones
 }

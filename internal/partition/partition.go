@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"aigre/internal/aig"
@@ -224,13 +225,19 @@ func Run(ctx context.Context, a *aig.AIG, script string, opts Options) (Result, 
 	}
 	res.SharedNodes -= base.NumAnds()
 
-	pres := extractAll(base, parts)
-
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.NewPool(opts.Workers)
 		defer pool.Close()
 	}
+
+	// Profiler labels mark the orchestration phases (the per-partition jobs
+	// themselves are labeled by the engine): a CPU profile of a partitioned
+	// run separates extraction, optimization, and seam stitching.
+	var pres []*aig.AIG
+	pprof.Do(ctx, pprof.Labels("partition_phase", "extract"), func(context.Context) {
+		pres = extractAll(base, parts, pool)
+	})
 	jobs := make([]sched.Job, len(parts))
 	for i, p := range parts {
 		jobs[i] = sched.Job{
@@ -297,12 +304,18 @@ func Run(ctx context.Context, a *aig.AIG, script string, opts Options) (Result, 
 		chosen[i] = r.AIG
 	}
 
-	merged, err := resolve(base, parts, pres, chosen, resolveConfig{
-		verify:    opts.Flow.Verify,
-		rounds:    gateRounds,
-		maxRounds: opts.MaxConflictRounds,
-		seed:      opts.Seed,
-	}, &res)
+	var merged *aig.AIG
+	var err error
+	pprof.Do(ctx, pprof.Labels("partition_phase", "stitch"), func(context.Context) {
+		merged, err = resolve(base, parts, pres, chosen, resolveConfig{
+			verify:    opts.Flow.Verify,
+			rounds:    gateRounds,
+			maxRounds: opts.MaxConflictRounds,
+			seed:      opts.Seed,
+			mode:      opts.Mode,
+			pool:      pool,
+		}, &res)
+	})
 	if err != nil {
 		res.AIG = a
 		finish()

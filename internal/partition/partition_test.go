@@ -9,6 +9,7 @@ import (
 	"aigre/internal/bench"
 	"aigre/internal/cec"
 	"aigre/internal/flow"
+	"aigre/internal/sched"
 )
 
 // fullCEC asserts functional equivalence with the complete checker (random
@@ -76,6 +77,8 @@ func TestPartitionModesEquivalence(t *testing.T) {
 func TestStitchCheckpointIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := aig.Random(rng, 12, 600, 9)
+	pool := sched.NewPool(2)
+	defer pool.Close()
 	for _, mode := range []Mode{Cones, Levels} {
 		var parts []*part
 		if mode == Cones {
@@ -83,7 +86,7 @@ func TestStitchCheckpointIdentity(t *testing.T) {
 		} else {
 			parts = buildWindows(a, 120)
 		}
-		pres := extractAll(a, parts)
+		pres := extractAll(a, parts, pool)
 		merged, _, err := stitch(a, parts, pres)
 		if err != nil {
 			t.Fatal(err)
@@ -92,6 +95,16 @@ func TestStitchCheckpointIdentity(t *testing.T) {
 			t.Fatalf("%v: %v", mode, err)
 		}
 		fullCEC(t, a, merged)
+		if mode == Cones {
+			pmerged, _, err := stitchParallel(a, parts, pres, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := aig.Check(pmerged); err != nil {
+				t.Fatalf("%v parallel: %v", mode, err)
+			}
+			fullCEC(t, a, pmerged)
+		}
 	}
 }
 
@@ -106,7 +119,9 @@ func TestResolveRollsBackCorruptPartition(t *testing.T) {
 	if len(parts) < 2 {
 		t.Fatalf("expected multiple partitions, got %d", len(parts))
 	}
-	pres := extractAll(a, parts)
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	pres := extractAll(a, parts, pool)
 	chosen := make([]*aig.AIG, len(parts))
 	copy(chosen, pres)
 	bad := chosen[1].Clone()

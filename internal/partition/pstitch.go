@@ -1,0 +1,331 @@
+package partition
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aigre/internal/aig"
+	"aigre/internal/hashtable"
+	"aigre/internal/mempool"
+	"aigre/internal/sched"
+)
+
+// Pooled scratch for parallel extraction and stitching. The arrays are
+// proportional to the base network (millions of entries), re-acquired on
+// every stitch round of every partitioned job — recycling them keeps the
+// steady-state allocation rate of the whole partition path near zero.
+var (
+	pLitPool mempool.SlicePool[aig.Lit]
+	pI32Pool mempool.SlicePool[int32]
+	pU64Pool mempool.SlicePool[uint64]
+)
+
+// stitchTablePool recycles the merge table between stitch rounds, reused
+// only at the exact size a fresh table would have (the dedup pass uses the
+// same discipline) so pooled and unpooled stitches behave identically.
+var stitchTablePool sync.Pool
+
+func acquireStitchTable(capacityHint int) *hashtable.Table {
+	if t, _ := stitchTablePool.Get().(*hashtable.Table); t != nil && t.Cap() == hashtable.SizeFor(capacityHint) {
+		t.Reset()
+		return t
+	}
+	return hashtable.New(capacityHint)
+}
+
+// chunked fans fn over [0,n) in contiguous chunks on the pool, inline when
+// the range is too small to be worth a goroutine handoff.
+func chunked(pool *sched.Pool, n int, fn func(lo, hi int)) {
+	const minChunk = 512
+	w := pool.Workers()
+	if n <= minChunk || w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := (n + minChunk - 1) / minChunk
+	if chunks > w {
+		chunks = w
+	}
+	size := (n + chunks - 1) / chunks
+	tasks := make([]func(), 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		lo, hi := lo, lo+size
+		if hi > n {
+			hi = n
+		}
+		tasks = append(tasks, func() { fn(lo, hi) })
+	}
+	pool.Execute(tasks)
+}
+
+// stitchParallel is the cones-mode two-phase parallel replacement for
+// stitch: it produces a network with the same merged structure and the same
+// total conflict count, with the per-partition replay and the strash merge
+// running on the pool instead of one goroutine.
+//
+// Cones-mode partitions read only primary inputs (buildCones closes every
+// cluster under fanin), so the concatenation phase is embarrassingly
+// parallel: each partition's cone is replayed into a reserved range of a
+// shared node space with no cross-partition edges. The merge phase then
+// plays the role the global strash table played in the sequential stitcher:
+// nodes are processed level-synchronously (a node's fanins are strictly
+// below it in its own cone, so by its batch they are final), each batch
+// resolves structural duplicates through hashtable.InsertMin — the minimum
+// node id in a batch of duplicates wins, and a class that first appeared at
+// an earlier level keeps its established winner — and trivial nodes are
+// simplified against their finalized fanins exactly as NewAnd would have.
+// The winner policy is deterministic and independent of the worker count;
+// the merged quotient graph (and therefore the compacted result, up to node
+// renumbering) matches what the sequential replay builds, because both merge
+// every class of structurally identical nodes completely and apply the same
+// trivial-node simplification.
+func stitchParallel(base *aig.AIG, parts []*part, chosen []*aig.AIG, pool *sched.Pool) (*aig.AIG, []int, error) {
+	nPI := base.NumPIs()
+	nParts := len(parts)
+
+	// Reserve each partition a contiguous gid range after the shared PI
+	// prefix: gid 0 is const-false, 1..nPI the base PIs, then the live AND
+	// nodes of every chosen cone in partition index order (topological
+	// within a cone), mirroring the sequential replay's first-encounter
+	// order.
+	offs := make([]int, nParts+1)
+	offs[0] = 1 + nPI
+	for i, c := range chosen {
+		offs[i+1] = offs[i] + c.NumAnds()
+	}
+	totalLen := offs[nParts]
+
+	f0s := pLitPool.Get(totalLen)
+	f1s := pLitPool.Get(totalLen)
+	remap := pLitPool.Get(totalLen)
+	level := pI32Pool.GetZeroed(totalLen)
+	partOf := pI32Pool.Get(totalLen)
+	keys := pU64Pool.Get(totalLen)
+	defer func() {
+		pLitPool.Put(f0s)
+		pLitPool.Put(f1s)
+		pLitPool.Put(remap)
+		pI32Pool.Put(level)
+		pI32Pool.Put(partOf)
+		pU64Pool.Put(keys)
+	}()
+	for v := 0; v <= nPI; v++ {
+		remap[v] = aig.MakeLit(int32(v), false)
+	}
+
+	poGlobal := make([]aig.Lit, base.NumPOs())
+	poSet := make([]bool, base.NumPOs())
+	errs := make([]error, nParts)
+	partMaxLev := make([]int32, nParts)
+
+	// Phase 1: parallel concatenation. Each partition translates its cone
+	// into the shared gid space; inputs are base PIs, so partitions touch
+	// only their reserved range (plus their own PO slots).
+	tasks := make([]func(), nParts)
+	for pi := range parts {
+		pi, p, c := pi, parts[pi], chosen[pi]
+		tasks[pi] = func() {
+			if c.NumPIs() != len(p.inputs) {
+				errs[pi] = fmt.Errorf("partition: part %d cone has %d PIs, want %d", pi, c.NumPIs(), len(p.inputs))
+				return
+			}
+			if c.NumPOs() != len(p.outputs)+len(p.poIdx) {
+				errs[pi] = fmt.Errorf("partition: part %d cone has %d POs, want %d",
+					pi, c.NumPOs(), len(p.outputs)+len(p.poIdx))
+				return
+			}
+			if len(p.outputs) != 0 {
+				errs[pi] = fmt.Errorf("partition: part %d exports boundary outputs in cones mode", pi)
+				return
+			}
+			local := pLitPool.Get(c.NumObjs())
+			defer pLitPool.Put(local)
+			local[0] = aig.ConstFalse
+			for j, in := range p.inputs {
+				if int(in) > nPI {
+					errs[pi] = fmt.Errorf("partition: part %d input node %d is not a PI", pi, in)
+					return
+				}
+				local[j+1] = aig.MakeLit(in, false)
+			}
+			gid := int32(offs[pi])
+			maxLev := int32(0)
+			for id := int32(c.NumPIs() + 1); int(id) < c.NumObjs(); id++ {
+				if c.IsDeleted(id) {
+					continue
+				}
+				cf0, cf1 := c.Fanin0(id), c.Fanin1(id)
+				g0 := local[cf0.Var()].NotCond(cf0.IsCompl())
+				g1 := local[cf1.Var()].NotCond(cf1.IsCompl())
+				f0s[gid], f1s[gid] = g0, g1
+				lev := level[g0.Var()]
+				if l1 := level[g1.Var()]; l1 > lev {
+					lev = l1
+				}
+				lev++
+				level[gid] = lev
+				if lev > maxLev {
+					maxLev = lev
+				}
+				partOf[gid] = int32(pi)
+				local[id] = aig.MakeLit(gid, false)
+				gid++
+			}
+			partMaxLev[pi] = maxLev
+			for j, po := range p.poIdx {
+				l := c.PO(len(p.outputs) + j)
+				if epv := l.Var(); int(epv) < c.NumObjs() {
+					poGlobal[po] = local[epv].NotCond(l.IsCompl())
+					poSet[po] = true
+				}
+			}
+		}
+	}
+	pool.Execute(tasks)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	maxLev := int32(0)
+	for _, l := range partMaxLev {
+		if l > maxLev {
+			maxLev = l
+		}
+	}
+
+	// Bucket gids by level (counting sort keeps gid order within a level, so
+	// batches are deterministic).
+	nNodes := totalLen - (1 + nPI)
+	order := pI32Pool.Get(nNodes)
+	defer pI32Pool.Put(order)
+	start := make([]int, maxLev+2)
+	for gid := 1 + nPI; gid < totalLen; gid++ {
+		start[level[gid]+1]++
+	}
+	for l := 1; l <= int(maxLev); l++ {
+		start[l+1] += start[l]
+	}
+	fill := make([]int, maxLev+1)
+	copy(fill, start[:maxLev+1])
+	for gid := 1 + nPI; gid < totalLen; gid++ {
+		l := level[gid]
+		order[fill[l]] = int32(gid)
+		fill[l]++
+	}
+
+	ht := acquireStitchTable(nNodes + 16)
+	defer stitchTablePool.Put(ht)
+	conflicts32 := make([]int32, nParts)
+
+	// Phase 2: level-synchronous merge. Pass A finalizes each node's fanins
+	// against the remap of the levels below, simplifies trivial nodes, and
+	// registers survivors in the merge table; pass B resolves every node to
+	// its class winner. Pass A is idempotent (InsertMin is monotone), so a
+	// full table retries the batch after a rehash, like the dedup pass.
+	for lev := int32(1); lev <= maxLev; lev++ {
+		batch := order[start[lev]:start[lev+1]]
+		if len(batch) == 0 {
+			continue
+		}
+		for {
+			var full atomic.Bool
+			chunked(pool, len(batch), func(lo, hi int) {
+				for _, gid := range batch[lo:hi] {
+					l0 := f0s[gid]
+					l1 := f1s[gid]
+					g0 := remap[l0.Var()].NotCond(l0.IsCompl())
+					g1 := remap[l1.Var()].NotCond(l1.IsCompl())
+					if lit, ok := aig.SimplifyAnd(g0, g1); ok {
+						remap[gid] = lit
+						keys[gid] = 0 // trivial: no table entry
+						continue
+					}
+					if g0 > g1 {
+						g0, g1 = g1, g0
+					}
+					f0s[gid], f1s[gid] = g0, g1
+					k := aig.Key(g0, g1)
+					keys[gid] = k
+					// A class that first appeared at an earlier level keeps
+					// its established winner: later duplicates must not
+					// lower the stored id, or nodes that already resolved
+					// would silently split from their class.
+					if w, ok := ht.Query(k); ok && level[w] < lev {
+						continue
+					}
+					if err := ht.InsertMin(k, uint32(gid)); err != nil {
+						full.Store(true)
+						return
+					}
+				}
+			})
+			if !full.Load() {
+				break
+			}
+			ht.Rehash(2*ht.Len() + len(batch))
+		}
+		chunked(pool, len(batch), func(lo, hi int) {
+			for _, gid := range batch[lo:hi] {
+				k := keys[gid]
+				if k == 0 {
+					atomic.AddInt32(&conflicts32[partOf[gid]], 1)
+					continue // trivial, remapped in pass A
+				}
+				w, ok := ht.Query(k)
+				if !ok {
+					panic("partition: merge table lost a key")
+				}
+				if int32(w) == gid {
+					remap[gid] = aig.MakeLit(gid, false)
+					continue
+				}
+				remap[gid] = aig.MakeLit(int32(w), false)
+				atomic.AddInt32(&conflicts32[partOf[gid]], 1)
+			}
+		})
+	}
+
+	// Final replay: winners only, in level order (a winner's finalized
+	// fanins may carry a numerically higher gid from an earlier level, so id
+	// order is not topological here). No hashing — the merge already
+	// guaranteed uniqueness — and Compact drops the replay leftovers.
+	gmap := pLitPool.Get(totalLen)
+	defer pLitPool.Put(gmap)
+	for v := 0; v <= nPI; v++ {
+		gmap[v] = aig.MakeLit(int32(v), false)
+	}
+	out := aig.NewCap(nPI, totalLen)
+	for _, gid := range order[:nNodes] {
+		if remap[gid] != aig.MakeLit(gid, false) {
+			continue // merged or simplified away
+		}
+		o0 := gmap[f0s[gid].Var()].NotCond(f0s[gid].IsCompl())
+		o1 := gmap[f1s[gid].Var()].NotCond(f1s[gid].IsCompl())
+		gmap[gid] = out.AddAndUnchecked(o0, o1)
+	}
+	for i := 0; i < base.NumPOs(); i++ {
+		var l aig.Lit
+		if poSet[i] {
+			g := poGlobal[i]
+			r := remap[g.Var()].NotCond(g.IsCompl())
+			l = gmap[r.Var()].NotCond(r.IsCompl())
+		} else {
+			p := base.PO(i)
+			if int(p.Var()) > nPI {
+				return nil, nil, fmt.Errorf("partition: PO %d driver node %d not stitched", i, p.Var())
+			}
+			l = p
+		}
+		out.AddPO(l)
+	}
+	final, _ := out.Compact()
+	final.Name = base.Name
+
+	conflicts := make([]int, nParts)
+	for i, c := range conflicts32 {
+		conflicts[i] = int(c)
+	}
+	return final, conflicts, nil
+}

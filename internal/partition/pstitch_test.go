@@ -1,0 +1,195 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"aigre/internal/aig"
+	"aigre/internal/bench"
+	"aigre/internal/sched"
+)
+
+// isomorphic checks that a and b are the same DAG up to node renumbering: PIs
+// correspond by index, POs by position, and the mapping forced by walking the
+// PO cones is a bijection on AND nodes that preserves fanin complement bits.
+// Fanin order may differ between the networks (normalization sorts by literal
+// value, which depends on the numbering), so both pairings are tried, with
+// backtracking for the rare ambiguous case where the complement bits match
+// both ways.
+func isomorphic(a, b *aig.AIG) error {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() || a.NumAnds() != b.NumAnds() {
+		return fmt.Errorf("shape differs: %d/%d/%d PIs/POs/ANDs vs %d/%d/%d",
+			a.NumPIs(), a.NumPOs(), a.NumAnds(), b.NumPIs(), b.NumPOs(), b.NumAnds())
+	}
+	mapAB := make([]int32, a.NumObjs())
+	mapBA := make([]int32, b.NumObjs())
+	for i := range mapAB {
+		mapAB[i] = -1
+	}
+	for i := range mapBA {
+		mapBA[i] = -1
+	}
+	mapAB[0], mapBA[0] = 0, 0
+	for i := 0; i < a.NumPIs(); i++ {
+		mapAB[i+1], mapBA[i+1] = int32(i+1), int32(i+1)
+	}
+	var trail []int32
+	var match func(va, vb int32) bool
+	match = func(va, vb int32) bool {
+		if mapAB[va] != -1 || mapBA[vb] != -1 {
+			return mapAB[va] == vb
+		}
+		if !a.IsAnd(va) || !b.IsAnd(vb) {
+			return false // unmapped non-AND: PI index mismatch
+		}
+		mapAB[va], mapBA[vb] = vb, va
+		trail = append(trail, va)
+		mark := len(trail)
+		f0a, f1a := a.Fanin0(va), a.Fanin1(va)
+		try := func(x0, x1 aig.Lit) bool {
+			if f0a.IsCompl() != x0.IsCompl() || f1a.IsCompl() != x1.IsCompl() {
+				return false
+			}
+			if match(f0a.Var(), x0.Var()) && match(f1a.Var(), x1.Var()) {
+				return true
+			}
+			for len(trail) > mark {
+				ua := trail[len(trail)-1]
+				trail = trail[:len(trail)-1]
+				mapBA[mapAB[ua]] = -1
+				mapAB[ua] = -1
+			}
+			return false
+		}
+		if try(b.Fanin0(vb), b.Fanin1(vb)) || try(b.Fanin1(vb), b.Fanin0(vb)) {
+			return true
+		}
+		trail = trail[:len(trail)-1]
+		mapAB[va], mapBA[vb] = -1, -1
+		return false
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		la, lb := a.PO(i), b.PO(i)
+		if la.IsCompl() != lb.IsCompl() {
+			return fmt.Errorf("PO %d polarity differs", i)
+		}
+		if !match(la.Var(), lb.Var()) {
+			return fmt.Errorf("PO %d cones do not correspond", i)
+		}
+	}
+	mapped := 0
+	for id := int32(0); int(id) < a.NumObjs(); id++ {
+		if a.IsAnd(id) && mapAB[id] != -1 {
+			mapped++
+		}
+	}
+	if mapped != a.NumAnds() {
+		return fmt.Errorf("only %d of %d AND nodes mapped", mapped, a.NumAnds())
+	}
+	return nil
+}
+
+// sameAIG checks bit-identical structure (the determinism assertion: the
+// parallel stitcher's output must not depend on the worker count).
+func sameAIG(a, b *aig.AIG) error {
+	if a.NumObjs() != b.NumObjs() || a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return fmt.Errorf("shape differs")
+	}
+	for id := int32(int32(a.NumPIs()) + 1); int(id) < a.NumObjs(); id++ {
+		if a.Fanin0(id) != b.Fanin0(id) || a.Fanin1(id) != b.Fanin1(id) {
+			return fmt.Errorf("node %d fanins differ: (%v,%v) vs (%v,%v)",
+				id, a.Fanin0(id), a.Fanin1(id), b.Fanin0(id), b.Fanin1(id))
+		}
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		if a.PO(i) != b.PO(i) {
+			return fmt.Errorf("PO %d differs", i)
+		}
+	}
+	return nil
+}
+
+// TestParallelStitchMatchesSequential replays checkpoint cones of the
+// many-output benchmark circuits through both stitchers and requires the same
+// merged structure (up to renumbering — the level-synchronous merge picks
+// different winner ids than the in-order replay, but the quotient DAG must be
+// the same) and the same total conflict count.
+func TestParallelStitchMatchesSequential(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for _, name := range []string{"multiplier", "mem_ctrl", "ac97_ctrl", "voter"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, ok := bench.ByName(name, 1)
+			if !ok {
+				t.Fatalf("unknown circuit %q", name)
+			}
+			base := a
+			if !canonicalOrder(a) {
+				base, _ = a.Compact()
+			}
+			parts := buildCones(base, base.NumAnds()/6+1)
+			if len(parts) < 2 {
+				t.Skipf("%s yields %d partitions at this target", name, len(parts))
+			}
+			pres := extractAll(base, parts, pool)
+			seq, seqConf, err := stitch(base, parts, pres)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, parConf, err := stitchParallel(base, parts, pres, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := aig.Check(par); err != nil {
+				t.Fatal(err)
+			}
+			seqTotal, parTotal := 0, 0
+			for i := range seqConf {
+				seqTotal += seqConf[i]
+				parTotal += parConf[i]
+			}
+			if seqTotal != parTotal {
+				t.Errorf("conflict totals differ: sequential %d, parallel %d", seqTotal, parTotal)
+			}
+			if err := isomorphic(seq, par); err != nil {
+				t.Errorf("stitched networks not isomorphic: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelStitchWorkerIndependence pins the determinism contract of the
+// InsertMin merge: the stitched network must be bit-identical across worker
+// counts (and across repeated runs through the pooled scratch arrays).
+func TestParallelStitchWorkerIndependence(t *testing.T) {
+	a, ok := bench.ByName("mem_ctrl", 1)
+	if !ok {
+		t.Fatal("mem_ctrl missing from suite")
+	}
+	base := a
+	if !canonicalOrder(a) {
+		base, _ = a.Compact()
+	}
+	parts := buildCones(base, base.NumAnds()/8+1)
+	pool1 := sched.NewPool(1)
+	defer pool1.Close()
+	pres := extractAll(base, parts, pool1)
+	want, _, err := stitchParallel(base, parts, pres, pool1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		pool := sched.NewPool(w)
+		for round := 0; round < 2; round++ {
+			got, _, err := stitchParallel(base, parts, pres, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameAIG(want, got); err != nil {
+				t.Errorf("W=%d round %d: %v", w, round, err)
+			}
+		}
+		pool.Close()
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"aigre/internal/aig"
 	"aigre/internal/flow"
+	"aigre/internal/sched"
 )
 
 // rollbackIncident records a partition rollback as a classified incident, so
@@ -114,6 +115,7 @@ func stitch(base *aig.AIG, parts []*part, chosen []*aig.AIG) (*aig.AIG, []int, e
 		out.AddPO(l)
 	}
 	final, _ := out.Compact()
+	out.ReleaseStrash()
 	final.Name = base.Name
 	return final, conflicts, nil
 }
@@ -123,6 +125,19 @@ type resolveConfig struct {
 	rounds    int
 	maxRounds int
 	seed      int64
+	mode      Mode
+	pool      *sched.Pool
+}
+
+// doStitch picks the stitcher: cones-mode partitions have no cross-partition
+// boundary edges, so they stitch through the two-phase parallel merge on the
+// pool; levels mode keeps the sequential in-order replay its boundary chain
+// requires.
+func doStitch(base *aig.AIG, parts []*part, chosen []*aig.AIG, cfg resolveConfig) (*aig.AIG, []int, error) {
+	if cfg.mode == Cones && cfg.pool != nil {
+		return stitchParallel(base, parts, chosen, cfg.pool)
+	}
+	return stitch(base, parts, chosen)
 }
 
 // resolve runs the stitch / seam-gate / rollback loop. Each round stitches
@@ -136,7 +151,7 @@ type resolveConfig struct {
 // cones reproduces the base network function exactly.
 func resolve(base *aig.AIG, parts []*part, pres, chosen []*aig.AIG, cfg resolveConfig, res *Result) (*aig.AIG, error) {
 	for round := 1; ; round++ {
-		merged, conflicts, err := stitch(base, parts, chosen)
+		merged, conflicts, err := doStitch(base, parts, chosen, cfg)
 		if err != nil {
 			return nil, err
 		}

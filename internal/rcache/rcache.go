@@ -30,6 +30,7 @@
 package rcache
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -37,9 +38,22 @@ import (
 	"aigre/internal/truth"
 )
 
+// numShards spreads concurrent jobs over independent locks. It scales with
+// the host: a fixed 16 was fine for 16 workers sharing one cache, but eight
+// partition jobs each launching multi-worker kernels put far more goroutines
+// behind the locks than the machine has cores. Four shards per CPU (rounded
+// up to a power of two, floored at the old 16) keeps the expected queue per
+// lock short at any worker count; determined once at startup so every cache
+// in the process agrees.
+var numShards = func() int {
+	n := 16
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	return n
+}()
+
 const (
-	// numShards spreads concurrent jobs over independent locks.
-	numShards = 16
 	// DefaultMaxEntries bounds the resident program entries of New.
 	// 12-leaf cones key at ~520 bytes plus the program; 32k entries keep
 	// the worst case around tens of megabytes.
@@ -115,6 +129,9 @@ func (s Stats) HitRate() float64 {
 type shard struct {
 	mu sync.Mutex
 	m  map[string]Entry
+	// Pad to a cache line: neighboring shards' locks are taken by different
+	// workers concurrently, and sharing a line would serialize them anyway.
+	_ [48]byte
 }
 
 // Cache is a sharded, concurrency-safe resynthesis cache. The zero value is
@@ -124,7 +141,7 @@ type shard struct {
 type Cache struct {
 	disabled    bool
 	maxPerShard int
-	shards      [numShards]shard
+	shards      []shard // len is numShards (a power of two); nil when disabled
 
 	// npn is the packed 4-input canonization table: bits 0-15 the canonical
 	// table, 16-20 the permutation index, 21-24 the input negation mask,
@@ -148,7 +165,7 @@ func NewWithCapacity(maxEntries int) *Cache {
 	if per < 1 {
 		per = 1
 	}
-	c := &Cache{maxPerShard: per}
+	c := &Cache{maxPerShard: per, shards: make([]shard, numShards)}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]Entry)
 	}
@@ -209,7 +226,7 @@ func (c *Cache) Lookup(tt truth.TT, nLeaves int) (Entry, bool) {
 	}
 	bp := keyPool.Get().(*[]byte)
 	key := appendKey((*bp)[:0], tt, nLeaves)
-	s := &c.shards[hashKey(key)&(numShards-1)]
+	s := &c.shards[hashKey(key)&uint64(len(c.shards)-1)]
 	s.mu.Lock()
 	e, ok := s.m[string(key)] // no-alloc map probe form
 	s.mu.Unlock()
@@ -231,7 +248,7 @@ func (c *Cache) Store(tt truth.TT, nLeaves int, e Entry) {
 	}
 	bp := keyPool.Get().(*[]byte)
 	key := appendKey((*bp)[:0], tt, nLeaves)
-	s := &c.shards[hashKey(key)&(numShards-1)]
+	s := &c.shards[hashKey(key)&uint64(len(c.shards)-1)]
 	s.mu.Lock()
 	if _, exists := s.m[string(key)]; !exists && len(s.m) >= c.maxPerShard {
 		for k := range s.m {

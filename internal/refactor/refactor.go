@@ -223,6 +223,7 @@ func applySequentially(d *gpu.Device, a *aig.AIG, reps []core.Replacement) *aig.
 	}
 	d.AddOverhead("refactor/seq-replace", ops)
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	return out
 }
 
@@ -270,6 +271,7 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 		st.ConesReplaced++
 	}
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	st.NodesAfter = out.NumAnds()
 	return out, st
 }

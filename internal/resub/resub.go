@@ -366,6 +366,7 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 		}
 	}
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	st.NodesAfter = out.NumAnds()
 	return out, st
 }
@@ -416,6 +417,7 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 	}
 	d.AddOverhead("resub/seq-replace", seqOps)
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	st.NodesAfter = out.NumAnds()
 	return out, st
 }

@@ -291,6 +291,7 @@ func Sequential(a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 		}
 	}
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	st.NodesAfter = out.NumAnds()
 	return out, st
 }
@@ -343,6 +344,7 @@ func Parallel(d *gpu.Device, a *aig.AIG, opts Options) (*aig.AIG, Stats) {
 	d.AddOverhead("rewrite/seq-replace", seqOps)
 
 	out, _ := work.Compact()
+	work.ReleaseStrash()
 	st.NodesAfter = out.NumAnds()
 	return out, st
 }

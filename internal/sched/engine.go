@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -392,7 +393,12 @@ func (e *Engine) run(q *queuedJob) Result {
 	if q.job.Policy != nil {
 		pol = *q.job.Policy
 	}
-	e.supervise(outer, q, pol, &res)
+	// Profiler labels: every sample taken inside this job's attempts — and in
+	// any goroutine they spawn, worker bodies included — carries the job name,
+	// so a CPU profile of a batch run breaks down by job out of the box.
+	pprof.Do(outer, pprof.Labels("sched_job", q.job.Name), func(outer context.Context) {
+		e.supervise(outer, q, pol, &res)
+	})
 	res.Wall = time.Since(start)
 	if res.AIG != nil {
 		res.NodesAfter = res.AIG.NumAnds()

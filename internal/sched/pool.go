@@ -4,7 +4,7 @@
 // The paper's system optimizes one AIG per invocation and sizes its worker
 // pool to the whole machine; a service optimizing N designs at once would
 // oversubscribe the host N-fold. Here a Pool owns the host worker
-// goroutines once, jobs lease capped sub-devices from it (gpu.NewLeased),
+// budget once, jobs lease capped sub-devices from it (gpu.NewLeased),
 // and an Engine admits jobs by priority, runs each through the guarded
 // flow.Run with per-job and engine-wide context cancellation, and
 // aggregates per-job Results plus fleet Metrics.
@@ -19,56 +19,69 @@ import (
 	"aigre/internal/gpu"
 )
 
-// Pool is a fixed set of host worker goroutines shared by every device
-// leased from it. Kernel launches of leased devices enqueue their worker
-// bodies here, so the total host concurrency across any number of
-// concurrent jobs never exceeds the pool size.
+// Pool is a fixed budget of W concurrent worker slots shared by every device
+// leased from it. Kernel launches of leased devices draw their worker bodies
+// from it, so the total host concurrency across any number of concurrent
+// jobs never exceeds the pool size.
+//
+// The budget is a slot semaphore rather than a set of resident worker
+// goroutines: a single-body launch — the whole traffic of a W=1 lease, which
+// is what every partition sub-job holds — runs inline on the calling
+// goroutine after claiming a slot, costing no channel handoff or context
+// switch. The earlier resident-worker design paid two scheduler switches per
+// task, which at eight concurrent partition jobs on a saturated host turned
+// the pool itself into a contention source. Multi-body launches spawn one
+// goroutine per extra body; each claims its own slot, so the W bound holds
+// regardless of how many jobs launch at once.
 type Pool struct {
-	size  int
-	tasks chan poolTask
-	wg    sync.WaitGroup // worker goroutines
+	size int
+	sem  chan int // buffered with slot ids 0..size-1
 
 	closeOnce sync.Once
-	running   atomic.Int32 // workers currently executing a task
+	running   atomic.Int32 // slots currently executing a task
 	peak      atomic.Int32 // high-water mark of running
-	busyNS    atomic.Int64 // summed task execution time
+	busy      []slotClock  // per-slot busy time, indexed by slot id
 }
 
-type poolTask struct {
-	fn   func()
-	done *sync.WaitGroup
+// slotClock is one slot's busy-time accumulator, padded to a cache line so
+// concurrent slots don't false-share — BusyTime is read rarely, but the
+// accumulators are written once per task by every worker.
+type slotClock struct {
+	ns atomic.Int64
+	_  [56]byte
 }
 
-// NewPool starts a pool of the given number of worker goroutines
-// (0 = GOMAXPROCS). Close must be called to release them.
+// NewPool creates a pool with the given number of worker slots
+// (0 = GOMAXPROCS). Close releases the budget.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{size: workers, tasks: make(chan poolTask)}
-	p.wg.Add(workers)
+	p := &Pool{
+		size: workers,
+		sem:  make(chan int, workers),
+		busy: make([]slotClock, workers),
+	}
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		p.sem <- i
 	}
 	return p
 }
 
-func (p *Pool) worker() {
-	defer p.wg.Done()
-	for t := range p.tasks {
-		cur := p.running.Add(1)
-		for {
-			peak := p.peak.Load()
-			if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
-				break
-			}
+// runOn executes fn while holding slot, maintaining the concurrency
+// statistics.
+func (p *Pool) runOn(slot int, fn func()) {
+	cur := p.running.Add(1)
+	for {
+		peak := p.peak.Load()
+		if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+			break
 		}
-		start := time.Now()
-		t.fn()
-		p.busyNS.Add(int64(time.Since(start)))
-		p.running.Add(-1)
-		t.done.Done()
 	}
+	start := time.Now()
+	fn()
+	p.busy[slot].ns.Add(int64(time.Since(start)))
+	p.running.Add(-1)
 }
 
 // Workers returns the pool size W: the hard bound on concurrently running
@@ -82,19 +95,48 @@ func (p *Pool) PeakWorkers() int { return int(p.peak.Load()) }
 
 // BusyTime returns the summed execution time of all tasks run so far, the
 // numerator of worker utilization.
-func (p *Pool) BusyTime() time.Duration { return time.Duration(p.busyNS.Load()) }
-
-// Execute implements gpu.Executor: it runs every task on the pool workers
-// and returns when all have completed. Tasks may be enqueued from many
-// jobs' orchestration goroutines concurrently; each blocks only until a
-// worker picks its task up.
-func (p *Pool) Execute(tasks []func()) {
-	var done sync.WaitGroup
-	done.Add(len(tasks))
-	for _, fn := range tasks {
-		p.tasks <- poolTask{fn: fn, done: &done}
+func (p *Pool) BusyTime() time.Duration {
+	var total int64
+	for i := range p.busy {
+		total += p.busy[i].ns.Load()
 	}
+	return time.Duration(total)
+}
+
+// Execute implements gpu.Executor: it runs every task under the pool's slot
+// budget and returns when all have completed. Tasks may be enqueued from
+// many jobs' orchestration goroutines concurrently; each blocks only until a
+// slot frees up. The first task runs inline on the caller — the single-task
+// launch is the fast path and costs no goroutine switch.
+func (p *Pool) Execute(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(len(tasks) - 1)
+	for _, fn := range tasks[1:] {
+		go func(fn func()) {
+			defer done.Done()
+			slot := <-p.sem
+			p.runOn(slot, fn)
+			p.sem <- slot
+		}(fn)
+	}
+	slot := <-p.sem
+	p.runOn(slot, tasks[0])
+	p.sem <- slot
 	done.Wait()
+}
+
+// Close retires the worker budget: it claims every slot, which waits for all
+// in-flight tasks to finish. No device leased from the pool may launch
+// kernels afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		for i := 0; i < p.size; i++ {
+			<-p.sem
+		}
+	})
 }
 
 // Lease returns a device drawing its launch workers from the pool, capped
@@ -109,14 +151,4 @@ func (p *Pool) Lease(max int) *gpu.Device {
 		max = p.size
 	}
 	return gpu.NewLeased(max, p)
-}
-
-// Close shuts the pool down after all enqueued tasks finish and waits for
-// the worker goroutines to exit. No device leased from the pool may launch
-// kernels afterwards. Close is idempotent.
-func (p *Pool) Close() {
-	p.closeOnce.Do(func() {
-		close(p.tasks)
-		p.wg.Wait()
-	})
 }

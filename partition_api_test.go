@@ -2,7 +2,9 @@ package aigre_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"aigre"
 	"aigre/internal/bench"
@@ -103,6 +105,62 @@ func TestPartitionMillionNodeSmoke(t *testing.T) {
 	}
 	if got := res.AIG.Stats().Nodes; got == 0 || got > a.NumAnds() {
 		t.Fatalf("suspicious node count after balance: %d (in %d)", got, a.NumAnds())
+	}
+}
+
+// TestPartitionScalingSmoke is the fast multicore gate: a reduced deep/narrow
+// network (~100k nodes, same shape as the million-node benchmark) is optimized
+// partition-parallel at one worker and at four, and the four-worker run must
+// finish faster. Runners with fewer than four CPUs cannot show a wall-time
+// speedup, so the test skips there; the full scaling picture lives in the
+// BenchmarkPartitionMillionW* rows.
+func TestPartitionScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling smoke skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("scaling smoke skipped under -race; timings are not meaningful")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("scaling smoke needs >=4 CPUs, have %d", runtime.NumCPU())
+	}
+	a := bench.DeepNarrow(16, 1500)
+	n := aigre.FromInternal(a)
+	opts := func(workers int) aigre.Options {
+		return aigre.Options{
+			Workers: workers,
+			Partition: aigre.PartitionOptions{
+				Mode:       aigre.PartitionCones,
+				TargetSize: a.NumAnds()/8 + 1,
+			},
+		}
+	}
+	// Best-of-two per worker count damps scheduler noise without turning the
+	// smoke into a benchmark.
+	wall := func(workers int) time.Duration {
+		best := time.Duration(0)
+		for round := 0; round < 2; round++ {
+			start := time.Now()
+			res, err := n.Run(context.Background(), "b; rw", opts(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Partition == nil || len(res.Partition.Parts) < 2 {
+				t.Fatalf("expected a multi-partition run, got %+v", res.Partition)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	w1 := wall(1)
+	w4 := wall(4)
+	if w4 >= w1 {
+		t.Errorf("no wall-time speedup from workers: W1 %v, W4 %v (speedup %.2fx)",
+			w1, w4, float64(w1)/float64(w4))
+	} else {
+		t.Logf("W1 %v, W4 %v (speedup %.2fx)", w1, w4, float64(w1)/float64(w4))
 	}
 }
 

@@ -77,6 +77,14 @@ BEGIN {
 END {
     printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime > out
     fails = 0
+    # The W1 wall time anchors the multicore-scaling columns: every
+    # PartitionMillionW<N> row gets speedup = W1/WN and
+    # parallel_efficiency = speedup/N derived from this same run.
+    w1 = 0
+    for (i = 1; i <= count; i++) {
+        s = names[i]; sub(/^Benchmark/, "", s); sub(/-[0-9]+$/, "", s)
+        if (s == "PartitionMillionW1") w1 = cur_ns[names[i]]
+    }
     for (i = 1; i <= count; i++) {
         name = names[i]
         # Strip the Benchmark prefix and the per-run iteration suffix go
@@ -85,6 +93,16 @@ END {
         full = "Benchmark" short
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s", \
             short, cur_ns[name], cur_bytes[name], cur_allocs[name], cur_extras[name] > out
+        wrow = 0
+        if (short ~ /^PartitionMillionW[0-9]+$/ && w1 > 0) {
+            wrow = short; sub(/^PartitionMillionW/, "", wrow); wrow += 0
+            speedup = w1 / cur_ns[name]
+            printf ", \"speedup\": %.3f, \"parallel_efficiency\": %.3f", \
+                speedup, speedup / wrow > out
+        }
+        # A W8 wall above W1 means adding workers made the run slower — the
+        # exact failure mode the partition path exists to avoid.
+        wreg = (short == "PartitionMillionW8" && w1 > 0 && cur_ns[name] + 0 > w1 + 0)
         if (full in base_allocs) {
             ns_ratio = cur_ns[name] / base_ns[full]
             allocs_ratio = (base_allocs[full] > 0) ? cur_allocs[name] / base_allocs[full] : 1
@@ -94,13 +112,14 @@ END {
             status = "ok"
             if (allocs_ratio > 1.10) { status = "allocs-regression"; fails++ }
             if (ns_ratio > 1.50 && base_ns[full] >= 100000000) { status = "time-regression"; fails++ }
+            if (wreg) status = "regression"
             printf ", \"status\": \"%s\"", status > out
             printf "bench: %-40s ns/op %12s -> %12s (x%.2f)  allocs/op %9s -> %9s (x%.2f)  %s\n", \
                 short, base_ns[full], cur_ns[name], ns_ratio, \
                 base_allocs[full], cur_allocs[name], allocs_ratio, status
         } else {
-            printf ", \"status\": \"no-baseline\"", "" > out
-            printf "bench: %-40s (no baseline)\n", short
+            printf ", \"status\": \"%s\"", wreg ? "regression" : "no-baseline" > out
+            printf "bench: %-40s (no baseline)%s\n", short, wreg ? "  W8-slower-than-W1 REGRESSION" : ""
         }
         printf "%s\n", (i < count) ? "}," : "}" > out
     }

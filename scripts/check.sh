@@ -33,6 +33,16 @@ go test -race -run 'Pool|Engine|Lease|RunBatch|Cancel' ./internal/sched/ ./inter
 # mode — explicitly, under -race.
 go test -timeout 20m -run 'TestPartitionMillionNodeSmoke' .
 go test -race -run 'TestPartitionStressRace|TestResolveRollsBack|TestPartitionedBatchJob' ./internal/partition/ .
+# Multicore scaling smoke: a reduced deep/narrow run at 1 vs 4 workers must
+# get faster with workers (skips itself on <4-CPU runners, where wall time
+# cannot improve; the BenchmarkPartitionMillionW* rows carry the full story).
+go test -timeout 10m -run 'TestPartitionScalingSmoke' .
+# Pooled strash determinism (reuse-after-Put must be bit-identical), the
+# parallel seam stitch (structural identity with the sequential stitch,
+# worker-count independence), and the concurrent min-insert primitive it
+# rides on, explicitly, under -race.
+go test -race -run 'TestStrashTable|TestStrashPoolDeterminism|TestRebuildStrashSizing' ./internal/aig/
+go test -race -run 'TestParallelStitch|TestConcurrentInsertMin|TestInsertMinFull' ./internal/partition/ ./internal/hashtable/
 # Supervision chaos gate: a randomized (but seeded and printed, hence
 # reproducible) fault schedule over an 8-job batch under -race — kernel
 # panics, typed hashtable-full failures, silent corruptions, and one poison
